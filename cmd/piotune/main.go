@@ -1,0 +1,74 @@
+// Command piotune demonstrates the PIO B-tree self-tuning of the paper's
+// Section 3.6: it micro-benchmarks a simulated device to obtain Pr, Pw,
+// Pr(L), P'r and P'w, then reports the optimal leaf size L_opt and OPQ
+// size O_opt (eq. 10) and the utility/cost B+-tree node size for
+// comparison, for a given workload mix.
+//
+// Usage:
+//
+//	piotune -ssd p300 -n 200000 -mem 16384 -insert-ratio 0.7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/costmodel"
+	"repro/internal/flashsim"
+	"repro/internal/kv"
+	"repro/internal/vtime"
+)
+
+func main() {
+	var (
+		ssd      = flag.String("ssd", "p300", "device profile")
+		n        = flag.Int("n", 200000, "index entries")
+		mem      = flag.Int("mem", 16384, "memory budget (bytes)")
+		ratio    = flag.Float64("insert-ratio", 0.5, "insert fraction of the workload")
+		pageSize = flag.Int("page", 2048, "page size (bytes)")
+	)
+	flag.Parse()
+
+	cfg, err := flashsim.ProfileByName(*ssd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "piotune: %v\n", err)
+		os.Exit(1)
+	}
+	dev := flashsim.MustDevice(cfg)
+	fmt.Printf("calibrating %s (page %dB)...\n", cfg.Name, *pageSize)
+	d := costmodel.Calibrate(dev, *pageSize, 16, 64, 16)
+	fmt.Printf("  Pr(1)=%v Pr(4)=%v Pr(8)=%v\n", d.Pr(1), d.Pr(4), d.Pr(8))
+	fmt.Printf("  Pw(1)=%v Pw(4)=%v Pw(8)=%v\n", d.Pw(1), d.Pw(4), d.Pw(8))
+	fmt.Printf("  P'r=%v P'w=%v (psync-amortized per page)\n", d.PrPsync, d.PwPsync)
+
+	params := costmodel.TreeParams{
+		N:                 float64(*n),
+		F:                 float64(*pageSize / kv.RecordSize),
+		U:                 0.7,
+		Ri:                *ratio,
+		Rs:                1 - *ratio,
+		M:                 float64(*mem / *pageSize),
+		OPQEntriesPerPage: float64(*pageSize / kv.EntrySize),
+	}
+	maxO := *mem / *pageSize
+	if maxO < 1 {
+		maxO = 1
+	}
+	res, err := costmodel.TuneLeafOPQ(params, d, 5000, 16, maxO)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "piotune: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nworkload: insert ratio %.2f, N=%d, memory %dB\n", *ratio, *n, *mem)
+	fmt.Printf("  PIO B-tree: L_opt=%d segments (%dB leaves), O_opt=%d pages, modelled %.0fµs/op\n",
+		res.L, res.L**pageSize, res.O, res.Cost/float64(vtime.Microsecond))
+
+	nodePages, err := costmodel.TuneNodeSize(params, d, float64(*pageSize/kv.RecordSize), 16)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "piotune: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  B+-tree:    node size %d pages (%dB) via extended utility/cost\n",
+		nodePages, nodePages**pageSize)
+}

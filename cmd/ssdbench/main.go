@@ -1,0 +1,39 @@
+// Command ssdbench runs the device micro-benchmarks of the paper's
+// Section 2 (Figures 2-4) against the simulated SSD profiles: latency vs
+// I/O size, bandwidth vs outstanding level, interleaved vs non-interleaved
+// mixes, and psync I/O vs parallel processing.
+//
+// Usage:
+//
+//	ssdbench             # all device benchmarks
+//	ssdbench -fig 3      # one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to run: 2, 3, 3c, 4, 4c (default all)")
+	flag.Parse()
+
+	ids := []string{"fig2", "fig3", "fig3c", "fig4", "fig4c"}
+	if *fig != "" {
+		ids = []string{"fig" + *fig}
+	}
+	s := bench.DefaultScale()
+	for _, id := range ids {
+		tables, err := bench.Run(id, s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssdbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/flashsim"
+	"repro/internal/ssdio"
+	"repro/internal/vtime"
+)
+
+// Figure 2: random read/write latency vs I/O size (2KB..256KB) on all six
+// device profiles, OutStd level 1, direct I/O.
+func Fig2(s Scale) ([]Table, error) {
+	read := &Table{ID: "fig2a", Title: "random-read latency (µs) vs I/O size", Header: []string{"size_kb"}}
+	write := &Table{ID: "fig2b", Title: "random-write latency (µs) vs I/O size", Header: []string{"size_kb"}}
+	profiles := flashsim.Profiles()
+	for _, p := range profiles {
+		read.Header = append(read.Header, p.Name)
+		write.Header = append(write.Header, p.Name)
+	}
+	sizes := []int{2, 4, 8, 16, 32, 64, 128, 256}
+	const samples = 64
+	for _, kb := range sizes {
+		rRow := []string{fmt.Sprintf("%d", kb)}
+		wRow := []string{fmt.Sprintf("%d", kb)}
+		for _, p := range profiles {
+			dev := flashsim.MustDevice(p)
+			rng := newRng(s.Seed)
+			var now vtime.Ticks
+			var rSum, wSum vtime.Ticks
+			for i := 0; i < samples; i++ {
+				off := rng.pageOffset()
+				res := dev.SubmitOne(now, flashsim.Request{Op: flashsim.Read, Offset: off, Size: kb * 1024})
+				rSum += res.Latency()
+				now = res.Done
+				res = dev.SubmitOne(now, flashsim.Request{Op: flashsim.Write, Offset: rng.pageOffset(), Size: kb * 1024})
+				wSum += res.Latency()
+				now = res.Done
+			}
+			rRow = append(rRow, fmt.Sprintf("%.0f", (rSum/samples).Micros()))
+			wRow = append(wRow, fmt.Sprintf("%.0f", (wSum/samples).Micros()))
+		}
+		read.AddRow(rRow...)
+		write.AddRow(wRow...)
+	}
+	read.Notes = append(read.Notes, "paper shape: 4KB latency ~= 2KB latency (striping), sublinear growth beyond")
+	return []Table{*read, *write}, nil
+}
+
+// Figure 3(a,b): 4KB random read / write bandwidth vs outstanding I/O
+// level 1..64.
+func Fig3(s Scale) ([]Table, error) {
+	read := &Table{ID: "fig3a", Title: "read bandwidth (MB/s) vs OutStd level, 4KB", Header: []string{"outstd"}}
+	write := &Table{ID: "fig3b", Title: "write bandwidth (MB/s) vs OutStd level, 4KB", Header: []string{"outstd"}}
+	profiles := flashsim.Profiles()
+	for _, p := range profiles {
+		read.Header = append(read.Header, p.Name)
+		write.Header = append(write.Header, p.Name)
+	}
+	levels := []int{1, 2, 4, 8, 16, 32, 64}
+	for _, lvl := range levels {
+		rRow := []string{fmt.Sprintf("%d", lvl)}
+		wRow := []string{fmt.Sprintf("%d", lvl)}
+		for _, p := range profiles {
+			rRow = append(rRow, fmt.Sprintf("%.0f", bandwidth(p, lvl, s.Seed, flashsim.Read, false)))
+			wRow = append(wRow, fmt.Sprintf("%.0f", bandwidth(p, lvl, s.Seed, flashsim.Write, false)))
+		}
+		read.AddRow(rRow...)
+		write.AddRow(wRow...)
+	}
+	read.Notes = append(read.Notes, "paper shape: >10x growth from level 1 to 64, saturating near host-interface bandwidth")
+	return []Table{*read, *write}, nil
+}
+
+// Fig3c: interleaved vs non-interleaved read/write mix bandwidth.
+func Fig3c(s Scale) ([]Table, error) {
+	t := &Table{ID: "fig3c", Title: "mixed R/W bandwidth (MB/s): interleaved vs non-interleaved", Header: []string{"outstd"}}
+	profiles := []flashsim.Config{flashsim.F120(), flashsim.P300(), flashsim.Iodrive()}
+	for _, p := range profiles {
+		t.Header = append(t.Header, p.Name, p.Name+"_interleaved")
+	}
+	for _, lvl := range []int{2, 4, 8, 16, 32, 64, 128, 256} {
+		row := []string{fmt.Sprintf("%d", lvl)}
+		for _, p := range profiles {
+			non := bandwidthMixed(p, lvl, s.Seed, false)
+			inter := bandwidthMixed(p, lvl, s.Seed, true)
+			row = append(row, fmt.Sprintf("%.0f", non), fmt.Sprintf("%.0f", inter))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, "paper: non-interleaved 1.25-1.37x faster at level 64")
+	return []Table{*t}, nil
+}
+
+// bandwidth measures MB/s for `rounds` batches of lvl 4KB requests.
+func bandwidth(p flashsim.Config, lvl int, seed int64, op flashsim.Op, interleave bool) float64 {
+	dev := flashsim.MustDevice(p)
+	rng := newRng(seed)
+	const totalReqs = 2048
+	var now vtime.Ticks
+	var bytes int64
+	for n := 0; n < totalReqs; n += lvl {
+		batch := make([]flashsim.Request, lvl)
+		for i := range batch {
+			batch[i] = flashsim.Request{Op: op, Offset: rng.pageOffset(), Size: 4096}
+			bytes += 4096
+		}
+		_, done := dev.Submit(now, batch)
+		now = done
+	}
+	return mbps(bytes, now)
+}
+
+// bandwidthMixed measures a 50/50 read/write mix, interleaved (R,W,R,W...)
+// or segregated (n reads then n writes) within each batch.
+func bandwidthMixed(p flashsim.Config, lvl int, seed int64, interleaved bool) float64 {
+	dev := flashsim.MustDevice(p)
+	rng := newRng(seed)
+	const totalReqs = 2048
+	var now vtime.Ticks
+	var bytes int64
+	for n := 0; n < totalReqs; n += lvl {
+		batch := make([]flashsim.Request, lvl)
+		for i := range batch {
+			op := flashsim.Read
+			if interleaved {
+				if i%2 == 1 {
+					op = flashsim.Write
+				}
+			} else if i >= lvl/2 {
+				op = flashsim.Write
+			}
+			batch[i] = flashsim.Request{Op: op, Offset: rng.pageOffset(), Size: 4096}
+			bytes += 4096
+		}
+		_, done := dev.Submit(now, batch)
+		now = done
+	}
+	return mbps(bytes, now)
+}
+
+// Fig4: psync I/O vs parallel processing (simulated threads), shared file
+// vs separate files, mixed R/W; plus Fig4c context switches.
+func Fig4(s Scale) ([]Table, error) {
+	shared := &Table{ID: "fig4a", Title: "psync vs threads, shared file (MB/s)", Header: []string{"outstd"}}
+	separate := &Table{ID: "fig4b", Title: "psync vs threads, separate files (MB/s)", Header: []string{"outstd"}}
+	profiles := []flashsim.Config{flashsim.F120(), flashsim.P300(), flashsim.Iodrive()}
+	for _, p := range profiles {
+		shared.Header = append(shared.Header, p.Name+"_psync", p.Name+"_thread")
+		separate.Header = append(separate.Header, p.Name+"_psync", p.Name+"_thread")
+	}
+	for _, lvl := range []int{2, 4, 8, 16, 32, 64, 128, 256} {
+		shRow := []string{fmt.Sprintf("%d", lvl)}
+		sepRow := []string{fmt.Sprintf("%d", lvl)}
+		for _, p := range profiles {
+			shRow = append(shRow,
+				fmt.Sprintf("%.0f", psyncBW(p, lvl, s.Seed)),
+				fmt.Sprintf("%.0f", threadBW(p, lvl, s.Seed, true)))
+			sepRow = append(sepRow,
+				fmt.Sprintf("%.0f", psyncBW(p, lvl, s.Seed)),
+				fmt.Sprintf("%.0f", threadBW(p, lvl, s.Seed, false)))
+		}
+		shared.AddRow(shRow...)
+		separate.AddRow(sepRow...)
+	}
+	shared.Notes = append(shared.Notes,
+		"paper: threads saturate near OutStd-2 bandwidth on a shared file (POSIX write ordering); psync keeps scaling")
+	return []Table{*shared, *separate}, nil
+}
+
+// Fig4c: context switches, psync vs parallel processing, 4KB reads.
+func Fig4c(s Scale) ([]Table, error) {
+	t := &Table{
+		ID:     "fig4c",
+		Title:  "context switches per 1M 4KB reads (simulated, thousands)",
+		Header: []string{"outstd", "psync_K", "threads_K"},
+	}
+	const reads = 1_000_000
+	for _, lvl := range []int{1, 2, 4, 8, 16, 32} {
+		// psync: 2 switches per batch of lvl requests.
+		psync := int64(reads/lvl) * 2
+		// threads: 2 switches per blocking sync call.
+		threads := int64(reads) * 2
+		t.AddRow(fmt.Sprintf("%d", lvl), fmt.Sprintf("%d", psync/1000), fmt.Sprintf("%d", threads/1000))
+	}
+	t.Notes = append(t.Notes, "paper: order-of-magnitude gap at OutStd 32 (62.5K vs 2000K)")
+	return []Table{*t}, nil
+}
+
+// psyncBW: one process issuing psync batches of lvl mixed R/W requests to
+// one file.
+func psyncBW(p flashsim.Config, lvl int, seed int64) float64 {
+	dev := flashsim.MustDevice(p)
+	space := ssdio.NewSpace(dev)
+	f, err := space.Create("bench", 4<<20)
+	if err != nil {
+		panic(err)
+	}
+	rng := newRng(seed)
+	const totalReqs = 2048
+	var now vtime.Ticks
+	var bytes int64
+	buf := make([]byte, 4096)
+	for n := 0; n < totalReqs; n += lvl {
+		reqs := make([]ssdio.Req, lvl)
+		for i := range reqs {
+			op := flashsim.Read
+			if i >= lvl/2 {
+				op = flashsim.Write
+			}
+			reqs[i] = ssdio.Req{Op: op, Off: rng.fileOffset(4 << 20), Buf: buf}
+			bytes += 4096
+		}
+		done, err := f.Psync(now, reqs)
+		if err != nil {
+			panic(err)
+		}
+		now = done
+	}
+	return mbps(bytes, now)
+}
+
+// threadBW: lvl simulated threads each issuing blocking sync R/W to a
+// shared file (POSIX write-ordering lock) or separate files.
+func threadBW(p flashsim.Config, lvl int, seed int64, sharedFile bool) float64 {
+	dev := flashsim.MustDevice(p)
+	space := ssdio.NewSpace(dev)
+	files := make([]*ssdio.File, lvl)
+	if sharedFile {
+		f, err := space.Create("shared", 4<<20)
+		if err != nil {
+			panic(err)
+		}
+		for i := range files {
+			files[i] = f
+		}
+	} else {
+		for i := range files {
+			f, err := space.Create(fmt.Sprintf("f%d", i), 4<<20)
+			if err != nil {
+				panic(err)
+			}
+			files[i] = f
+		}
+	}
+	const totalReqs = 2048
+	perThread := totalReqs / lvl
+	if perThread < 1 {
+		perThread = 1
+	}
+	var bytes int64
+	threads := make([]*vtimeThread, lvl)
+	for i := range threads {
+		threads[i] = newVtimeThread(i, func(tid int, step int, now vtime.Ticks) (vtime.Ticks, bool) {
+			if step >= perThread {
+				return now, false
+			}
+			rng := newRng(seed + int64(tid*7919+step))
+			op := flashsim.Read
+			if step%2 == 1 {
+				op = flashsim.Write
+			}
+			buf := make([]byte, 4096)
+			done, err := files[tid].Sync(now, ssdio.Req{Op: op, Off: rng.fileOffset(4 << 20), Buf: buf})
+			if err != nil {
+				panic(err)
+			}
+			bytes += 4096
+			return done, true
+		})
+	}
+	end := runThreads(3*vtime.Microsecond, threads)
+	return mbps(bytes, end)
+}
+
+func mbps(bytes int64, elapsed vtime.Ticks) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / (1 << 20) / elapsed.Seconds()
+}
+
+// xorshift RNG for deterministic offsets without math/rand state sharing.
+type rng struct{ s uint64 }
+
+func newRng(seed int64) *rng {
+	u := uint64(seed)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+	return &rng{s: u}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+// pageOffset returns a 4KB-aligned offset within a 4GB region (the
+// paper's benchmark file size).
+func (r *rng) pageOffset() int64 {
+	return int64(r.next()%(1<<20)) * 4096
+}
+
+// fileOffset returns a 4KB-aligned offset within a size-byte file.
+func (r *rng) fileOffset(size int64) int64 {
+	pages := size / 4096
+	return int64(r.next()%uint64(pages)) * 4096
+}
+
+func init() {
+	Register("fig2", Fig2)
+	Register("fig3", Fig3)
+	Register("fig3c", Fig3c)
+	Register("fig4", Fig4)
+	Register("fig4c", Fig4c)
+}

@@ -1,0 +1,35 @@
+package bench
+
+import "repro/internal/vtime"
+
+// vtimeThread adapts a step function to the vtime scheduler: stepFn
+// receives (threadID, stepIndex, now) and returns (newNow, more).
+type vtimeThread struct {
+	id     int
+	step   int
+	stepFn func(tid, step int, now vtime.Ticks) (vtime.Ticks, bool)
+}
+
+func newVtimeThread(id int, fn func(tid, step int, now vtime.Ticks) (vtime.Ticks, bool)) *vtimeThread {
+	return &vtimeThread{id: id, stepFn: fn}
+}
+
+// runThreads executes the simulated threads deterministically and returns
+// the makespan.
+func runThreads(ctxSwitchCost vtime.Ticks, threads []*vtimeThread) vtime.Ticks {
+	sched := make([]*vtime.Thread, len(threads))
+	for i, th := range threads {
+		th := th
+		sched[i] = &vtime.Thread{
+			ID: th.id,
+			Step: func(t *vtime.Thread) bool {
+				now, more := th.stepFn(th.id, th.step, t.Clock.Now())
+				th.step++
+				t.Clock.AdvanceTo(now)
+				return more
+			},
+		}
+	}
+	s := vtime.NewScheduler(ctxSwitchCost, sched...)
+	return s.Run()
+}

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/flashsim"
+	"repro/internal/kv"
+	"repro/internal/vtime"
+	"repro/internal/workload"
+)
+
+// Tune regenerates the Section 3.6 auto-tuning result: calibrate the
+// device (Pr, Pw, Pr(L), P'r, P'w), then pick (L_opt, O_opt) per eq. (10)
+// for a range of insert/search ratios, plus the B+-tree node size via the
+// extended utility/cost method (Section 3.2.1 / eq. 3).
+func Tune(s Scale) ([]Table, error) {
+	t := &Table{
+		ID:     "tune",
+		Title:  "auto-tuned parameters per device and insert ratio (eq. 10)",
+		Header: []string{"device", "insert_ratio", "L_opt", "O_opt_pages", "modelled_us_per_op", "btree_node_pages"},
+	}
+	for _, p := range mainDevices() {
+		dev := flashsim.MustDevice(p)
+		d := costmodel.Calibrate(dev, pageSize, 16, 64, 16)
+		entriesPerPage := float64(pageSize / kv.RecordSize)
+		for _, ri := range []float64{0.1, 0.5, 0.9} {
+			params := costmodel.TreeParams{
+				N:                 float64(s.InitialEntries),
+				F:                 entriesPerPage,
+				U:                 0.7,
+				Ri:                ri,
+				Rs:                1 - ri,
+				M:                 float64(s.MemBytes / pageSize),
+				OPQEntriesPerPage: float64(pageSize / kv.EntrySize),
+			}
+			res, err := costmodel.TuneLeafOPQ(params, d, 5000, 16, s.MemBytes/pageSize)
+			if err != nil {
+				return nil, err
+			}
+			nodePages, err := costmodel.TuneNodeSize(params, d, entriesPerPage, 16)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(p.Name, fmt.Sprintf("%.1f", ri),
+				fmt.Sprintf("%d", res.L), fmt.Sprintf("%d", res.O),
+				fmt.Sprintf("%.0f", res.Cost/float64(vtime.Microsecond)),
+				fmt.Sprintf("%d", nodePages))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper guidance: leaf 4-16KB when insert ratio moderate; OPQ of one page already wins; higher insert ratio favours larger OPQ")
+	return []Table{*t}, nil
+}
+
+// Ablations quantify the design choices DESIGN.md calls out: psync off,
+// LSMap off, PioMax sweep.
+func Ablations(s Scale) ([]Table, error) {
+	dev := flashsim.P300()
+	t := &Table{
+		ID:     "ablation",
+		Title:  fmt.Sprintf("PIO B-tree ablations on %s: %d inserts + %d searches", dev.Name, s.Ops, s.Ops),
+		Header: []string{"variant", "insert_s", "search_s"},
+	}
+	type variant struct {
+		name                                     string
+		disablePsync, disableLSMap, sortedLeaves bool
+		pioMax                                   int
+	}
+	variants := []variant{
+		{name: "baseline", pioMax: 64},
+		{name: "psync-off", disablePsync: true, pioMax: 64},
+		{name: "lsmap-off", disableLSMap: true, pioMax: 64},
+		{name: "sorted-leaves", sortedLeaves: true, pioMax: 64},
+		{name: "piomax-8", pioMax: 8},
+		{name: "piomax-16", pioMax: 16},
+		{name: "piomax-128", pioMax: 128},
+	}
+	for _, v := range variants {
+		pp := defaultPio()
+		pp.OPQPages = 4
+		insT, seaT, err := runPioVariant(dev, s, pp, v.disablePsync, v.disableLSMap, v.sortedLeaves, v.pioMax)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(v.name, fmtSeconds(insT), fmtSeconds(seaT))
+	}
+	t.Notes = append(t.Notes,
+		"psync-off isolates channel-level parallelism; lsmap-off pays whole-leaf reads on updates; sorted-leaves pays full-leaf rewrites per batch")
+	return []Table{*t}, nil
+}
+
+// runPioVariant builds a PIO tree with ablation flags and measures an
+// insert-only then search-only pass.
+func runPioVariant(p flashsim.Config, s Scale, pp pioParams, disablePsync, disableLSMap, sortedLeaves bool, pioMax int) (vtime.Ticks, vtime.Ticks, error) {
+	pf, err := newPagefile(p, "pio-ablate", int64(s.InitialEntries)*64+1<<20)
+	if err != nil {
+		return 0, 0, err
+	}
+	bufBytes := s.MemBytes - pp.OPQPages*pageSize
+	if bufBytes < pageSize {
+		bufBytes = pageSize
+	}
+	tr, err := coreNew(pf, pp, bufBytes, disablePsync, disableLSMap, sortedLeaves, pioMax)
+	if err != nil {
+		return 0, 0, err
+	}
+	recs := initialRecords(s.InitialEntries)
+	if err := tr.BulkLoad(recs); err != nil {
+		return 0, 0, err
+	}
+	var insT vtime.Ticks
+	for _, op := range workload.InsertOnly(s.Ops, recs, s.Seed) {
+		insT, err = tr.Insert(insT, op.Rec)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	var seaT vtime.Ticks
+	for _, op := range workload.SearchOnly(s.Ops, recs, s.Seed+1) {
+		_, _, seaT2, err := tr.Search(seaT, op.Rec.Key)
+		if err != nil {
+			return 0, 0, err
+		}
+		seaT = seaT2
+	}
+	return insT, seaT, nil
+}
+
+func init() {
+	Register("tune", Tune)
+	Register("ablation", Ablations)
+}

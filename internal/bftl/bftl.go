@@ -1,0 +1,590 @@
+// Package bftl implements the BFTL baseline (Wu, Kuo & Chang, "An
+// efficient B-tree layer implementation for flash-memory storage
+// systems"), the flash-aware B-tree the paper compares against in
+// Section 4.1.4.
+//
+// BFTL represents B-tree nodes as scattered *index units* (log records of
+// individual insert/delete operations) written sequentially into log
+// pages; an in-RAM *node translation table* maps each logical node to the
+// list of pages holding its units. Reading a node therefore costs one read
+// per page in its list; writes are cheap because dirty units from many
+// nodes share one sequential log page (the reservation buffer). The
+// *commit policy* bounds each node's list length at C pages by compacting
+// a node (rewriting its units into fresh pages) when the bound is
+// exceeded.
+//
+// The paper's characterization: write-optimized, search-degraded ("their
+// search performance is degraded as much as the write-optimized level"),
+// and its mapping table consumes the entire main-memory budget ("In BFTL,
+// the entire main memory space was consumed by its mapping table thus
+// making no space left for the buffer pool").
+package bftl
+
+import (
+	"fmt"
+
+	"repro/internal/kv"
+	"repro/internal/pagefile"
+	"repro/internal/vtime"
+)
+
+// Config parameterizes BFTL.
+type Config struct {
+	// PageSize is the log page size in bytes.
+	PageSize int
+	// Fanout is the logical node capacity in records (leaf) or children
+	// (internal); BFTL keeps B-tree shape over logical nodes.
+	Fanout int
+	// CommitPolicy is C, the max pages per node list before compaction.
+	CommitPolicy int
+	// CPUPerNode is CPU time per logical node visit.
+	CPUPerNode vtime.Ticks
+}
+
+// unit is one index unit: an operation on a logical node.
+type unit struct {
+	op  kv.Op
+	rec kv.Record
+	// For internal nodes, rec.Value holds the child node id and rec.Key
+	// the separator.
+}
+
+// node is a logical B-tree node materialized from its units.
+type node struct {
+	id       int64
+	leaf     bool
+	recs     []kv.Record // leaf payload, sorted
+	keys     []kv.Key    // internal separators
+	children []int64
+}
+
+// Tree is a BFTL B-tree over a pagefile used as a sequential log.
+type Tree struct {
+	cfg Config
+	pf  *pagefile.PageFile
+
+	// ntt is the node translation table: node id -> log pages holding its
+	// units. This is the structure that eats the RAM budget.
+	ntt map[int64][]pagefile.PageID
+	// units mirrors the content of the log for materialization. Real BFTL
+	// parses pages; keeping decoded units in step with the page lists
+	// keeps this implementation compact while charging identical I/O.
+	units map[int64][]unit
+
+	// reservation buffer: units not yet flushed to a log page.
+	pending      []pendingUnit
+	pendingLimit int
+
+	root   int64
+	nextID int64
+	height int
+	count  int64
+
+	stats Stats
+}
+
+type pendingUnit struct {
+	nodeID int64
+	u      unit
+}
+
+// Stats counts BFTL activity.
+type Stats struct {
+	NodeReads   int64 // page reads for node materialization
+	LogWrites   int64 // sequential log page writes
+	Compactions int64
+}
+
+// New creates an empty BFTL tree.
+func New(pf *pagefile.PageFile, cfg Config) (*Tree, error) {
+	if cfg.Fanout < 4 {
+		return nil, fmt.Errorf("bftl: fanout must be >= 4, got %d", cfg.Fanout)
+	}
+	if cfg.CommitPolicy < 1 {
+		return nil, fmt.Errorf("bftl: commit policy must be >= 1, got %d", cfg.CommitPolicy)
+	}
+	// The reservation buffer holds one log page worth of units.
+	unitsPerPage := cfg.PageSize / (kv.EntrySize + 8)
+	if unitsPerPage < 1 {
+		return nil, fmt.Errorf("bftl: page size %d too small", cfg.PageSize)
+	}
+	t := &Tree{
+		cfg:          cfg,
+		pf:           pf,
+		ntt:          make(map[int64][]pagefile.PageID),
+		units:        make(map[int64][]unit),
+		pendingLimit: unitsPerPage,
+		root:         0,
+		nextID:       1,
+		height:       1,
+	}
+	return t, nil
+}
+
+// Count returns the number of live records.
+func (t *Tree) Count() int64 { return t.count }
+
+// Height returns the logical tree height.
+func (t *Tree) Height() int { return t.height }
+
+// Stats returns a snapshot of the counters.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// NTTBytes estimates the node translation table's RAM footprint: node id
+// (8B) plus 4B per page reference, the figure that consumes the paper's
+// memory budget.
+func (t *Tree) NTTBytes() int {
+	total := 0
+	for _, pages := range t.ntt {
+		total += 8 + 4*len(pages)
+	}
+	return total
+}
+
+// readNode materializes a logical node, paying one page read per page in
+// its translation list (the BFTL search penalty).
+func (t *Tree) readNode(at vtime.Ticks, id int64) (*node, vtime.Ticks, error) {
+	pages := t.ntt[id]
+	buf := make([]byte, t.cfg.PageSize)
+	var err error
+	for _, p := range pages {
+		at, err = t.pf.ReadPage(at, p, buf)
+		if err != nil {
+			return nil, at, err
+		}
+		t.stats.NodeReads++
+	}
+	n := t.materialize(id)
+	return n, at + t.cfg.CPUPerNode, nil
+}
+
+// materialize replays a node's units (log order) into its logical form,
+// including units still in the reservation buffer.
+func (t *Tree) materialize(id int64) *node {
+	n := &node{id: id, leaf: true}
+	apply := func(u unit) {
+		switch u.op {
+		case kv.OpInsert, kv.OpUpdate:
+			if u.op == kv.OpInsert && u.rec.Key == childMarker {
+				// Internal-node child list unit.
+				n.leaf = false
+				n.children = append(n.children, int64(u.rec.Value))
+				return
+			}
+			if u.op == kv.OpInsert && u.rec.Key == sepMarker {
+				n.leaf = false
+				n.keys = append(n.keys, kv.Key(u.rec.Value))
+				return
+			}
+			i := kv.SearchRecords(n.recs, u.rec.Key)
+			if i < len(n.recs) && n.recs[i].Key == u.rec.Key {
+				n.recs[i] = u.rec
+			} else {
+				n.recs = append(n.recs, kv.Record{})
+				copy(n.recs[i+1:], n.recs[i:])
+				n.recs[i] = u.rec
+			}
+		case kv.OpDelete:
+			i := kv.SearchRecords(n.recs, u.rec.Key)
+			if i < len(n.recs) && n.recs[i].Key == u.rec.Key {
+				n.recs = append(n.recs[:i], n.recs[i+1:]...)
+			}
+		}
+	}
+	for _, u := range t.units[id] {
+		apply(u)
+	}
+	for _, pu := range t.pending {
+		if pu.nodeID == id {
+			apply(pu.u)
+		}
+	}
+	return n
+}
+
+// Marker keys distinguishing internal-node units inside the shared unit
+// representation (real BFTL tags units; markers keep the codec compact).
+const (
+	childMarker kv.Key = 1<<64 - 1
+	sepMarker   kv.Key = 1<<64 - 2
+)
+
+// appendUnit adds a unit to the reservation buffer, flushing a full buffer
+// as one sequential log page shared by many nodes — the BFTL write
+// optimization.
+func (t *Tree) appendUnit(at vtime.Ticks, id int64, u unit) (vtime.Ticks, error) {
+	t.pending = append(t.pending, pendingUnit{nodeID: id, u: u})
+	if len(t.pending) < t.pendingLimit {
+		return at, nil
+	}
+	return t.flushReservation(at)
+}
+
+// flushReservation writes the reservation buffer to one fresh log page and
+// updates the translation lists, compacting nodes that exceed the commit
+// policy.
+func (t *Tree) flushReservation(at vtime.Ticks) (vtime.Ticks, error) {
+	if len(t.pending) == 0 {
+		return at, nil
+	}
+	page := t.pf.Alloc()
+	buf := make([]byte, t.cfg.PageSize)
+	at, err := t.pf.WritePage(at, page, buf)
+	if err != nil {
+		return at, err
+	}
+	t.stats.LogWrites++
+	touched := map[int64]bool{}
+	for _, pu := range t.pending {
+		t.units[pu.nodeID] = append(t.units[pu.nodeID], pu.u)
+		if !touched[pu.nodeID] {
+			t.ntt[pu.nodeID] = append(t.ntt[pu.nodeID], page)
+			touched[pu.nodeID] = true
+		}
+	}
+	t.pending = t.pending[:0]
+	// Commit policy: compact any node whose list exceeds C pages.
+	for id := range touched {
+		if len(t.ntt[id]) > t.cfg.CommitPolicy {
+			at, err = t.compact(at, id)
+			if err != nil {
+				return at, err
+			}
+		}
+	}
+	return at, nil
+}
+
+// compact rewrites a node's units into fresh dedicated pages: read every
+// page in the list, write the consolidated units back.
+func (t *Tree) compact(at vtime.Ticks, id int64) (vtime.Ticks, error) {
+	var err error
+	buf := make([]byte, t.cfg.PageSize)
+	for _, p := range t.ntt[id] {
+		at, err = t.pf.ReadPage(at, p, buf)
+		if err != nil {
+			return at, err
+		}
+		t.stats.NodeReads++
+	}
+	// Consolidated units fit one page for a sane fanout/commit policy.
+	page := t.pf.Alloc()
+	at, err = t.pf.WritePage(at, page, buf)
+	if err != nil {
+		return at, err
+	}
+	t.stats.LogWrites++
+	t.stats.Compactions++
+	for _, p := range t.ntt[id] {
+		t.pf.Free(p)
+	}
+	t.ntt[id] = []pagefile.PageID{page}
+	// Consolidate the in-memory mirror too.
+	n := t.materialize(id)
+	t.units[id] = nodeToUnits(n)
+	return at, nil
+}
+
+// nodeToUnits re-expresses a materialized node as a minimal unit list.
+func nodeToUnits(n *node) []unit {
+	var us []unit
+	if n.leaf {
+		for _, r := range n.recs {
+			us = append(us, unit{op: kv.OpInsert, rec: r})
+		}
+		return us
+	}
+	for _, c := range n.children {
+		us = append(us, unit{op: kv.OpInsert, rec: kv.Record{Key: childMarker, Value: kv.Value(c)}})
+	}
+	for _, k := range n.keys {
+		us = append(us, unit{op: kv.OpInsert, rec: kv.Record{Key: sepMarker, Value: kv.Value(k)}})
+	}
+	return us
+}
+
+// childIndex routes key k within internal node n.
+func (n *node) childIndex(k kv.Key) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if k < n.keys[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Search looks up key k.
+func (t *Tree) Search(at vtime.Ticks, k kv.Key) (kv.Value, bool, vtime.Ticks, error) {
+	n, at, err := t.readNode(at, t.root)
+	if err != nil {
+		return 0, false, at, err
+	}
+	for !n.leaf {
+		n, at, err = t.readNode(at, n.children[n.childIndex(k)])
+		if err != nil {
+			return 0, false, at, err
+		}
+	}
+	i := kv.SearchRecords(n.recs, k)
+	if i < len(n.recs) && n.recs[i].Key == k {
+		return n.recs[i].Value, true, at, nil
+	}
+	return 0, false, at, nil
+}
+
+// Insert adds record r, splitting logical nodes as needed.
+func (t *Tree) Insert(at vtime.Ticks, r kv.Record) (vtime.Ticks, error) {
+	// Descend, recording the path.
+	var path []pathStep
+	n, at, err := t.readNode(at, t.root)
+	if err != nil {
+		return at, err
+	}
+	for !n.leaf {
+		i := n.childIndex(r.Key)
+		path = append(path, pathStep{n: n, idx: i})
+		n, at, err = t.readNode(at, n.children[i])
+		if err != nil {
+			return at, err
+		}
+	}
+	exists := false
+	if i := kv.SearchRecords(n.recs, r.Key); i < len(n.recs) && n.recs[i].Key == r.Key {
+		exists = true
+	}
+	at, err = t.appendUnit(at, n.id, unit{op: kv.OpInsert, rec: r})
+	if err != nil {
+		return at, err
+	}
+	if !exists {
+		t.count++
+	}
+	// Split check on the materialized size.
+	if len(n.recs)+1 <= t.cfg.Fanout {
+		return at, nil
+	}
+	return t.splitLeaf(at, path, n.id)
+}
+
+// pathStep records one internal-node step of a descent.
+type pathStep struct {
+	n   *node
+	idx int
+}
+
+// splitLeaf splits a logical leaf: materialize, halve, rewrite both halves
+// as fresh unit lists, propagate the separator.
+func (t *Tree) splitLeaf(at vtime.Ticks, path []pathStep, id int64) (vtime.Ticks, error) {
+	n := t.materialize(id)
+	mid := len(n.recs) / 2
+	right := &node{id: t.nextID, leaf: true, recs: append([]kv.Record(nil), n.recs[mid:]...)}
+	t.nextID++
+	n.recs = n.recs[:mid]
+	sep := right.recs[0].Key
+	var err error
+	at, err = t.rewriteNode(at, n)
+	if err != nil {
+		return at, err
+	}
+	at, err = t.rewriteNode(at, right)
+	if err != nil {
+		return at, err
+	}
+	// Propagate upward.
+	for len(path) > 0 {
+		p := path[len(path)-1].n
+		idx := path[len(path)-1].idx
+		path = path[:len(path)-1]
+		p.keys = append(p.keys, 0)
+		copy(p.keys[idx+1:], p.keys[idx:])
+		p.keys[idx] = sep
+		p.children = append(p.children, 0)
+		copy(p.children[idx+2:], p.children[idx+1:])
+		p.children[idx+1] = right.id
+		if len(p.children) <= t.cfg.Fanout {
+			return t.rewriteNode(at, p)
+		}
+		m := len(p.keys) / 2
+		up := p.keys[m]
+		rn := &node{
+			id:       t.nextID,
+			keys:     append([]kv.Key(nil), p.keys[m+1:]...),
+			children: append([]int64(nil), p.children[m+1:]...),
+		}
+		t.nextID++
+		p.keys = p.keys[:m]
+		p.children = p.children[:m+1]
+		if at, err = t.rewriteNode(at, p); err != nil {
+			return at, err
+		}
+		if at, err = t.rewriteNode(at, rn); err != nil {
+			return at, err
+		}
+		sep = up
+		right = rn
+	}
+	// Root split.
+	newRoot := &node{
+		id:       t.nextID,
+		keys:     []kv.Key{sep},
+		children: []int64{t.root, right.id},
+	}
+	t.nextID++
+	t.root = newRoot.id
+	t.height++
+	return t.rewriteNode(at, newRoot)
+}
+
+// rewriteNode replaces a node's unit list with its consolidated form,
+// costing one log page write.
+func (t *Tree) rewriteNode(at vtime.Ticks, n *node) (vtime.Ticks, error) {
+	page := t.pf.Alloc()
+	buf := make([]byte, t.cfg.PageSize)
+	at, err := t.pf.WritePage(at, page, buf)
+	if err != nil {
+		return at, err
+	}
+	t.stats.LogWrites++
+	for _, p := range t.ntt[n.id] {
+		t.pf.Free(p)
+	}
+	t.ntt[n.id] = []pagefile.PageID{page}
+	t.units[n.id] = nodeToUnits(n)
+	// Remove any pending units for this node (now consolidated).
+	keep := t.pending[:0]
+	for _, pu := range t.pending {
+		if pu.nodeID != n.id {
+			keep = append(keep, pu)
+		}
+	}
+	t.pending = keep
+	return at, nil
+}
+
+// Delete removes key k (no underflow handling: BFTL leaves nodes sparse,
+// as the original paper does for its evaluation).
+func (t *Tree) Delete(at vtime.Ticks, k kv.Key) (bool, vtime.Ticks, error) {
+	n, at, err := t.readNode(at, t.root)
+	if err != nil {
+		return false, at, err
+	}
+	for !n.leaf {
+		n, at, err = t.readNode(at, n.children[n.childIndex(k)])
+		if err != nil {
+			return false, at, err
+		}
+	}
+	i := kv.SearchRecords(n.recs, k)
+	if i >= len(n.recs) || n.recs[i].Key != k {
+		return false, at, nil
+	}
+	at, err = t.appendUnit(at, n.id, unit{op: kv.OpDelete, rec: kv.Record{Key: k}})
+	if err != nil {
+		return false, at, err
+	}
+	t.count--
+	return true, at, nil
+}
+
+// RangeSearch scans [lo, hi) by walking leaves left to right. BFTL has no
+// leaf chain in this compact form; the walk re-descends per leaf (tracking
+// each leaf's upper bound from the separators on the way down), which is
+// faithful to its search-heavy cost profile.
+func (t *Tree) RangeSearch(at vtime.Ticks, lo, hi kv.Key) ([]kv.Record, vtime.Ticks, error) {
+	var out []kv.Record
+	k := lo
+	for k < hi {
+		n, at2, err := t.readNode(at, t.root)
+		if err != nil {
+			return nil, at2, err
+		}
+		at = at2
+		// highBound is the smallest separator to the right of the descent
+		// path: the first key of the next leaf.
+		var highBound kv.Key
+		hasBound := false
+		for !n.leaf {
+			ci := n.childIndex(k)
+			if ci < len(n.keys) {
+				highBound, hasBound = n.keys[ci], true
+			}
+			n, at, err = t.readNode(at, n.children[ci])
+			if err != nil {
+				return nil, at, err
+			}
+		}
+		for _, r := range n.recs {
+			if r.Key >= k && r.Key < hi {
+				out = append(out, r)
+			}
+		}
+		if !hasBound {
+			break // rightmost leaf
+		}
+		k = highBound
+	}
+	return out, at, nil
+}
+
+// BulkLoad builds the tree from sorted records without simulated cost.
+func (t *Tree) BulkLoad(recs []kv.Record) error {
+	if t.count != 0 {
+		return fmt.Errorf("bftl: bulk load into non-empty tree")
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	fill := int(float64(t.cfg.Fanout) * 0.7)
+	if fill < 1 {
+		fill = 1
+	}
+	type built struct {
+		id    int64
+		first kv.Key
+	}
+	var level []built
+	for i := 0; i < len(recs); i += fill {
+		end := i + fill
+		if end > len(recs) {
+			end = len(recs)
+		}
+		n := &node{id: t.nextID, leaf: true, recs: append([]kv.Record(nil), recs[i:end]...)}
+		t.nextID++
+		page := t.pf.Alloc()
+		t.ntt[n.id] = []pagefile.PageID{page}
+		t.units[n.id] = nodeToUnits(n)
+		level = append(level, built{id: n.id, first: n.recs[0].Key})
+	}
+	for len(level) > 1 {
+		var next []built
+		for i := 0; i < len(level); {
+			end := i + fill
+			if end >= len(level)-1 {
+				end = len(level)
+			}
+			group := level[i:end]
+			n := &node{id: t.nextID}
+			t.nextID++
+			for j, b := range group {
+				n.children = append(n.children, b.id)
+				if j > 0 {
+					n.keys = append(n.keys, b.first)
+				}
+			}
+			page := t.pf.Alloc()
+			t.ntt[n.id] = []pagefile.PageID{page}
+			t.units[n.id] = nodeToUnits(n)
+			next = append(next, built{id: n.id, first: group[0].first})
+			i = end
+		}
+		level = next
+		t.height++
+	}
+	t.root = level[0].id
+	t.count = int64(len(recs))
+	return nil
+}

@@ -1,0 +1,206 @@
+package bftl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/flashsim"
+	"repro/internal/kv"
+	"repro/internal/pagefile"
+	"repro/internal/ssdio"
+	"repro/internal/vtime"
+)
+
+func newTree(t *testing.T) *Tree {
+	t.Helper()
+	dev := flashsim.MustDevice(flashsim.F120())
+	f, err := ssdio.NewSpace(dev).Create("bftl", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := pagefile.New(f, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(pf, Config{PageSize: 2048, Fanout: 32, CommitPolicy: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestValidation(t *testing.T) {
+	dev := flashsim.MustDevice(flashsim.F120())
+	f, _ := ssdio.NewSpace(dev).Create("x", 1<<16)
+	pf, _ := pagefile.New(f, 2048)
+	if _, err := New(pf, Config{PageSize: 2048, Fanout: 2, CommitPolicy: 4}); err == nil {
+		t.Fatal("tiny fanout accepted")
+	}
+	if _, err := New(pf, Config{PageSize: 2048, Fanout: 32, CommitPolicy: 0}); err == nil {
+		t.Fatal("zero commit policy accepted")
+	}
+}
+
+func TestInsertSearch(t *testing.T) {
+	tr := newTree(t)
+	var at vtime.Ticks
+	var err error
+	for i := 0; i < 3000; i++ {
+		at, err = tr.Insert(at, kv.Record{Key: uint64(i * 2), Value: uint64(i)})
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if tr.Count() != 3000 {
+		t.Fatalf("count = %d", tr.Count())
+	}
+	for i := 0; i < 3000; i += 101 {
+		v, found, at2, err := tr.Search(at, uint64(i*2))
+		if err != nil || !found || v != uint64(i) {
+			t.Fatalf("Search(%d) = %v,%v,%v", i*2, v, found, err)
+		}
+		at = at2
+		_, found, at, err = tr.Search(at, uint64(i*2+1))
+		if err != nil || found {
+			t.Fatalf("found absent key %d", i*2+1)
+		}
+	}
+	if tr.Stats().LogWrites == 0 {
+		t.Fatal("no log writes recorded")
+	}
+}
+
+func TestRandomAgainstModel(t *testing.T) {
+	tr := newTree(t)
+	rng := rand.New(rand.NewSource(5))
+	model := map[kv.Key]kv.Value{}
+	var at vtime.Ticks
+	var err error
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(1200))
+		if rng.Intn(4) == 0 {
+			var ok bool
+			ok, at, err = tr.Delete(at, k)
+			_, want := model[k]
+			if err == nil && ok != want {
+				t.Fatalf("op %d: Delete(%d)=%v want %v", i, k, ok, want)
+			}
+			delete(model, k)
+		} else {
+			at, err = tr.Insert(at, kv.Record{Key: k, Value: uint64(i)})
+			model[k] = uint64(i)
+		}
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	for k, v := range model {
+		got, found, _, err := tr.Search(at, k)
+		if err != nil || !found || got != v {
+			t.Fatalf("Search(%d) = %d,%v,%v want %d", k, got, found, err, v)
+		}
+	}
+	if tr.Count() != int64(len(model)) {
+		t.Fatalf("count %d != model %d", tr.Count(), len(model))
+	}
+}
+
+func TestCompactionBoundsNodeReads(t *testing.T) {
+	tr := newTree(t)
+	var at vtime.Ticks
+	var err error
+	// Hammer one small key range so its leaf accumulates units.
+	for i := 0; i < 4000; i++ {
+		at, err = tr.Insert(at, kv.Record{Key: uint64(i % 20), Value: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Stats().Compactions == 0 {
+		t.Fatal("commit policy never triggered")
+	}
+	// Every node list must respect the commit policy after quiescence.
+	for id, pages := range tr.ntt {
+		if len(pages) > tr.cfg.CommitPolicy+1 {
+			t.Fatalf("node %d list length %d exceeds policy", id, len(pages))
+		}
+	}
+}
+
+func TestSearchSlowerThanBtreeShape(t *testing.T) {
+	// BFTL's point search must cost several page reads per node once nodes
+	// scatter: after lots of inserts, reads-per-search > height.
+	tr := newTree(t)
+	var at vtime.Ticks
+	var err error
+	rng := rand.New(rand.NewSource(17))
+	keys := rng.Perm(3000)
+	for i, k := range keys {
+		at, err = tr.Insert(at, kv.Record{Key: uint64(k * 7), Value: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := tr.Stats().NodeReads
+	const searches = 100
+	for i := 0; i < searches; i++ {
+		_, _, at, err = tr.Search(at, uint64(keys[i*29%len(keys)]*7))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	perSearch := float64(tr.Stats().NodeReads-before) / searches
+	if perSearch <= float64(tr.Height()) {
+		t.Fatalf("BFTL search too cheap: %.1f page reads/search, height %d", perSearch, tr.Height())
+	}
+}
+
+func TestRangeSearch(t *testing.T) {
+	tr := newTree(t)
+	var at vtime.Ticks
+	var err error
+	for i := 0; i < 2000; i++ {
+		at, err = tr.Insert(at, kv.Record{Key: uint64(i), Value: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, err := tr.RangeSearch(at, 500, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 200 {
+		t.Fatalf("range returned %d, want 200", len(got))
+	}
+	for i, r := range got {
+		if r.Key != uint64(500+i) {
+			t.Fatalf("range[%d] = %d", i, r.Key)
+		}
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	tr := newTree(t)
+	recs := make([]kv.Record, 10000)
+	for i := range recs {
+		recs[i] = kv.Record{Key: uint64(i * 5), Value: uint64(i)}
+	}
+	if err := tr.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count() != 10000 || tr.Height() < 2 {
+		t.Fatalf("count=%d height=%d", tr.Count(), tr.Height())
+	}
+	for _, i := range []int{0, 5000, 9999} {
+		v, found, _, err := tr.Search(0, recs[i].Key)
+		if err != nil || !found || v != recs[i].Value {
+			t.Fatalf("Search(%d): %v %v %v", recs[i].Key, v, found, err)
+		}
+	}
+	if tr.NTTBytes() == 0 {
+		t.Fatal("NTT empty after bulk load")
+	}
+	if err := tr.BulkLoad(recs); err == nil {
+		t.Fatal("bulk load into non-empty tree accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package blink
+
+import (
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/flashsim"
+	"repro/internal/kv"
+	"repro/internal/pagefile"
+	"repro/internal/ssdio"
+	"repro/internal/vtime"
+)
+
+func newBlink(t *testing.T) *Tree {
+	t.Helper()
+	dev := flashsim.MustDevice(flashsim.P300())
+	f, err := ssdio.NewSpace(dev).Create("blink", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := pagefile.New(f, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := btree.New(pf, btree.Config{NodeSize: 1024, BufferBytes: 8 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(bt, vtime.Microsecond)
+}
+
+func TestBasicOps(t *testing.T) {
+	b := newBlink(t)
+	var at vtime.Ticks
+	var err error
+	for i := 0; i < 2000; i++ {
+		at, err = b.Insert(at, kv.Record{Key: uint64(i), Value: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, found, at, err := b.Search(at, 1000)
+	if err != nil || !found || v != 1000 {
+		t.Fatalf("Search: %v %v %v", v, found, err)
+	}
+	ok, at, err := b.Update(at, kv.Record{Key: 1000, Value: 5})
+	if err != nil || !ok {
+		t.Fatalf("Update: %v %v", ok, err)
+	}
+	ok, at, err = b.Delete(at, 1001)
+	if err != nil || !ok {
+		t.Fatalf("Delete: %v %v", ok, err)
+	}
+	recs, _, err := b.RangeSearch(at, 100, 200)
+	if err != nil || len(recs) != 100 {
+		t.Fatalf("Range: %d %v", len(recs), err)
+	}
+	if err := b.Btree().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLatchContention: two simulated threads writing the same key region
+// at the same virtual time must serialize on the stripe latch.
+func TestLatchContention(t *testing.T) {
+	b := newBlink(t)
+	// Same key -> same stripe.
+	d1, err := b.Insert(0, kv.Record{Key: 7, Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := b.Insert(0, kv.Record{Key: 7, Value: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 <= d1 {
+		t.Fatalf("concurrent same-stripe inserts overlapped: %v vs %v", d1, d2)
+	}
+	waits, waited := b.ContentionStats()
+	if waits == 0 || waited == 0 {
+		t.Fatalf("no contention recorded: %d %v", waits, waited)
+	}
+}
+
+// TestDifferentStripesOverlap: writers to different stripes at the same
+// time may overlap (fine-grained locking benefit).
+func TestDifferentStripesOverlap(t *testing.T) {
+	b := newBlink(t)
+	k1, k2 := uint64(1), uint64(2)
+	if stripe(k1) == stripe(k2) {
+		k2 = 3 // pick a different stripe
+	}
+	d1, err := b.Insert(0, kv.Record{Key: k1, Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := b.Insert(0, kv.Record{Key: k2, Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second insert starts at 0 too; it may pay device-level queueing
+	// but not the full serialization of d1 (write-ordering excepted: both
+	// go to the same file, so allow the file lock serialization but not
+	// double).
+	if d2 > 2*d1 {
+		t.Fatalf("different-stripe inserts appear serialized: %v vs %v", d1, d2)
+	}
+}

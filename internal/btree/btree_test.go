@@ -1,0 +1,265 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/flashsim"
+	"repro/internal/kv"
+	"repro/internal/pagefile"
+	"repro/internal/ssdio"
+	"repro/internal/vtime"
+)
+
+func newTree(t *testing.T, cfg Config) *Tree {
+	t.Helper()
+	dev := flashsim.MustDevice(flashsim.P300())
+	f, err := ssdio.NewSpace(dev).Create("bt", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := pagefile.New(f, cfg.NodeSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(pf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func cfg1k() Config { return Config{NodeSize: 1024, BufferBytes: 16 * 1024} }
+
+func TestEmptySearch(t *testing.T) {
+	tr := newTree(t, cfg1k())
+	_, found, _, err := tr.Search(0, 1)
+	if err != nil || found {
+		t.Fatalf("empty search: %v %v", found, err)
+	}
+}
+
+func TestInsertSearchDeleteRandom(t *testing.T) {
+	tr := newTree(t, cfg1k())
+	rng := rand.New(rand.NewSource(3))
+	model := map[kv.Key]kv.Value{}
+	var at vtime.Ticks
+	var err error
+	for i := 0; i < 8000; i++ {
+		k := uint64(rng.Intn(2500))
+		switch rng.Intn(3) {
+		case 0, 1:
+			at, err = tr.Insert(at, kv.Record{Key: k, Value: uint64(i)})
+			if _, dup := model[k]; !dup {
+				// count grows only on fresh keys
+			}
+			model[k] = uint64(i)
+		case 2:
+			var ok bool
+			ok, at, err = tr.Delete(at, k)
+			_, want := model[k]
+			if err == nil && ok != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", i, k, ok, want)
+			}
+			delete(model, k)
+		}
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count() != int64(len(model)) {
+		t.Fatalf("count %d != model %d", tr.Count(), len(model))
+	}
+	for k, v := range model {
+		got, found, _, err := tr.Search(0, k)
+		if err != nil || !found || got != v {
+			t.Fatalf("Search(%d) = %d,%v,%v want %d", k, got, found, err, v)
+		}
+	}
+}
+
+func TestDeleteToEmptyAndShrink(t *testing.T) {
+	tr := newTree(t, cfg1k())
+	var at vtime.Ticks
+	var err error
+	const n = 3000
+	for i := 0; i < n; i++ {
+		at, err = tr.Insert(at, kv.Record{Key: uint64(i), Value: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := tr.Height()
+	if grown < 2 {
+		t.Fatalf("height %d", grown)
+	}
+	for i := 0; i < n; i++ {
+		ok, at2, err := tr.Delete(at, uint64(i))
+		if err != nil || !ok {
+			t.Fatalf("Delete(%d): %v %v", i, ok, err)
+		}
+		at = at2
+	}
+	if tr.Count() != 0 {
+		t.Fatalf("count %d after deleting all", tr.Count())
+	}
+	if tr.Height() >= grown {
+		t.Fatalf("tree did not shrink: %d -> %d", grown, tr.Height())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Reinsert works after full drain.
+	if at, err = tr.Insert(at, kv.Record{Key: 42, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	v, found, _, err := tr.Search(at, 42)
+	if err != nil || !found || v != 1 {
+		t.Fatalf("post-drain search: %v %v %v", v, found, err)
+	}
+}
+
+func TestRangeSearchLeafChain(t *testing.T) {
+	tr := newTree(t, cfg1k())
+	recs := make([]kv.Record, 5000)
+	for i := range recs {
+		recs[i] = kv.Record{Key: uint64(i * 2), Value: uint64(i)}
+	}
+	if err := tr.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := tr.RangeSearch(0, 1000, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, r := range recs {
+		if r.Key >= 1000 && r.Key < 3000 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("range %d records, want %d", len(got), want)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Key >= got[i].Key {
+			t.Fatal("range unsorted")
+		}
+	}
+	if out, _, err := tr.RangeSearch(0, 30, 30); err != nil || out != nil {
+		t.Fatalf("empty range: %v %v", out, err)
+	}
+}
+
+func TestBulkLoadInvariantsAndCount(t *testing.T) {
+	tr := newTree(t, cfg1k())
+	recs := make([]kv.Record, 30000)
+	for i := range recs {
+		recs[i] = kv.Record{Key: uint64(i)*3 + 1, Value: uint64(i)}
+	}
+	if err := tr.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count() != 30000 || tr.Height() < 3 {
+		t.Fatalf("count=%d height=%d", tr.Count(), tr.Height())
+	}
+	// Spot checks.
+	for _, i := range []int{0, 1, 14999, 29999} {
+		v, found, _, err := tr.Search(0, recs[i].Key)
+		if err != nil || !found || v != recs[i].Value {
+			t.Fatalf("Search(%d): %v %v %v", recs[i].Key, v, found, err)
+		}
+	}
+	if err := tr.BulkLoad(recs); err == nil {
+		t.Fatal("bulk load into non-empty tree accepted")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tr := newTree(t, cfg1k())
+	at, err := tr.Insert(0, kv.Record{Key: 10, Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, at, err := tr.Update(at, kv.Record{Key: 10, Value: 2})
+	if err != nil || !ok {
+		t.Fatalf("update: %v %v", ok, err)
+	}
+	v, found, at, err := tr.Search(at, 10)
+	if err != nil || !found || v != 2 {
+		t.Fatalf("after update: %v %v %v", v, found, err)
+	}
+	ok, _, err = tr.Update(at, kv.Record{Key: 11, Value: 3})
+	if err != nil || ok {
+		t.Fatalf("update of absent key: %v %v", ok, err)
+	}
+}
+
+func TestMultiPageNodes(t *testing.T) {
+	cfg := Config{NodeSize: 4096, BufferBytes: 64 * 1024}
+	tr := newTree(t, cfg)
+	var at vtime.Ticks
+	var err error
+	for i := 0; i < 2000; i++ {
+		at, err = tr.Insert(at, kv.Record{Key: uint64(i), Value: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Fanout() <= 64 {
+		t.Fatalf("fanout %d too small for 4KB nodes", tr.Fanout())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	dev := flashsim.MustDevice(flashsim.P300())
+	f, _ := ssdio.NewSpace(dev).Create("v", 1<<16)
+	pf, _ := pagefile.New(f, 1024)
+	if _, err := New(pf, Config{NodeSize: 2048, BufferBytes: 1024}); err == nil {
+		t.Fatal("node/page size mismatch accepted")
+	}
+	pf64, _ := pagefile.New(f, 64)
+	_ = pf64
+	if _, err := New(pf, Config{NodeSize: 64, BufferBytes: 1024}); err == nil {
+		t.Fatal("tiny node size accepted")
+	}
+}
+
+func TestSearchCostReflectsBufferSize(t *testing.T) {
+	// With a bigger buffer, repeated random searches must be faster.
+	run := func(bufBytes int) vtime.Ticks {
+		cfg := Config{NodeSize: 1024, BufferBytes: bufBytes}
+		tr := newTree(t, cfg)
+		recs := make([]kv.Record, 20000)
+		for i := range recs {
+			recs[i] = kv.Record{Key: uint64(i), Value: uint64(i)}
+		}
+		if err := tr.BulkLoad(recs); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		var at vtime.Ticks
+		for i := 0; i < 500; i++ {
+			_, _, at2, err := tr.Search(at, uint64(rng.Intn(20000)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			at = at2
+		}
+		return at
+	}
+	small := run(4 * 1024)
+	big := run(256 * 1024)
+	if big >= small {
+		t.Fatalf("bigger buffer not faster: %v vs %v", big, small)
+	}
+}

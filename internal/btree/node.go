@@ -1,0 +1,143 @@
+// Package btree implements the baseline disk B+-tree the paper compares
+// against: fixed-size nodes (possibly spanning several flash pages, sized
+// by the utility/cost measure of eq. (3)), synchronous one-node-at-a-time
+// I/O through an LRU buffer pool, sorted leaves linked for range scans.
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/kv"
+	"repro/internal/pagefile"
+)
+
+// node kinds.
+const (
+	kindInternal byte = 1
+	kindLeaf     byte = 2
+)
+
+// headerSize is the on-disk node header: kind(1) level(1) count(2)
+// next(8) pad(4).
+const headerSize = 16
+
+// node is the in-memory form of one B+-tree node.
+type node struct {
+	id    pagefile.PageID
+	leaf  bool
+	level int // leaf = 0
+
+	// Internal nodes: len(children) == len(keys)+1; subtree children[i]
+	// holds keys in [keys[i-1], keys[i]) with the usual sentinel bounds
+	// (K0 = -inf, KF = +inf), matching the paper's Figure 5.
+	keys     []kv.Key
+	children []pagefile.PageID
+
+	// Leaves: sorted records plus the right-sibling link.
+	recs []kv.Record
+	next pagefile.PageID
+}
+
+// maxLeafRecs returns the leaf record capacity for a node of size bytes.
+func maxLeafRecs(nodeSize int) int { return (nodeSize - headerSize) / kv.RecordSize }
+
+// maxInternalKeys returns the separator-key capacity for a node of size
+// bytes (children capacity is one more: the paper's fanout F).
+func maxInternalKeys(nodeSize int) int { return (nodeSize - headerSize - 8) / 16 }
+
+// encode serializes n into buf (len(buf) = nodeSize).
+func (n *node) encode(buf []byte) error {
+	for i := range buf {
+		buf[i] = 0
+	}
+	if n.leaf {
+		if len(n.recs) > maxLeafRecs(len(buf)) {
+			return fmt.Errorf("btree: leaf %d overflow: %d recs", n.id, len(n.recs))
+		}
+		buf[0] = kindLeaf
+		buf[1] = 0
+		binary.LittleEndian.PutUint16(buf[2:], uint16(len(n.recs)))
+		binary.LittleEndian.PutUint64(buf[4:], uint64(n.next))
+		off := headerSize
+		for _, r := range n.recs {
+			kv.PutRecord(buf[off:], r)
+			off += kv.RecordSize
+		}
+		return nil
+	}
+	if len(n.keys) > maxInternalKeys(len(buf)) {
+		return fmt.Errorf("btree: internal %d overflow: %d keys", n.id, len(n.keys))
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return fmt.Errorf("btree: internal %d: %d keys but %d children", n.id, len(n.keys), len(n.children))
+	}
+	buf[0] = kindInternal
+	buf[1] = byte(n.level)
+	binary.LittleEndian.PutUint16(buf[2:], uint16(len(n.keys)))
+	off := headerSize
+	for _, k := range n.keys {
+		binary.LittleEndian.PutUint64(buf[off:], k)
+		off += 8
+	}
+	for _, c := range n.children {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(c))
+		off += 8
+	}
+	return nil
+}
+
+// decode parses buf into a fresh node with the given id.
+func decode(id pagefile.PageID, buf []byte) (*node, error) {
+	n := &node{id: id}
+	count := int(binary.LittleEndian.Uint16(buf[2:]))
+	switch buf[0] {
+	case kindLeaf:
+		n.leaf = true
+		n.next = pagefile.PageID(binary.LittleEndian.Uint64(buf[4:]))
+		if count > maxLeafRecs(len(buf)) {
+			return nil, fmt.Errorf("btree: corrupt leaf %d: count %d", id, count)
+		}
+		n.recs = make([]kv.Record, count)
+		off := headerSize
+		for i := range n.recs {
+			n.recs[i] = kv.GetRecord(buf[off:])
+			off += kv.RecordSize
+		}
+	case kindInternal:
+		n.level = int(buf[1])
+		if count > maxInternalKeys(len(buf)) {
+			return nil, fmt.Errorf("btree: corrupt internal %d: count %d", id, count)
+		}
+		n.keys = make([]kv.Key, count)
+		n.children = make([]pagefile.PageID, count+1)
+		off := headerSize
+		for i := range n.keys {
+			n.keys[i] = binary.LittleEndian.Uint64(buf[off:])
+			off += 8
+		}
+		for i := range n.children {
+			n.children[i] = pagefile.PageID(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+	default:
+		return nil, fmt.Errorf("btree: corrupt node %d: kind %d", id, buf[0])
+	}
+	return n, nil
+}
+
+// childIndex returns i such that children[i] covers key k: the first i
+// with k < keys[i], matching the paper's CheckSearchNeeded predicate
+// K[i-1] <= s < K[i].
+func (n *node) childIndex(k kv.Key) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if k < n.keys[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

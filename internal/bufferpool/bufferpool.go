@@ -1,0 +1,317 @@
+// Package bufferpool implements the LRU buffer manager employed for every
+// index in the paper's experiments (Section 4.1: "The LRU buffer manager
+// was employed for the indexes"). It caches fixed-size pages of one
+// pagefile, charges simulated time for misses and dirty-page write-backs,
+// and exposes hit/miss counters.
+//
+// Two write policies are provided:
+//
+//   - WriteBack (steal/no-force): dirtied frames are written when evicted,
+//     producing the mingled read/write pattern the paper blames for the
+//     B-link tree's concurrency penalty (Section 4.2);
+//   - WriteThrough: writes go straight to the device and frames are never
+//     dirty, matching the PIO B-tree's "no dirty buffers" property.
+package bufferpool
+
+import (
+	"container/list"
+	"fmt"
+
+	"repro/internal/pagefile"
+	"repro/internal/vtime"
+)
+
+// Policy selects the write policy of a Pool.
+type Policy uint8
+
+const (
+	// WriteBack defers page writes until eviction or Flush.
+	WriteBack Policy = iota
+	// WriteThrough writes pages immediately and keeps frames clean.
+	WriteThrough
+)
+
+// Stats exposes the pool's counters.
+type Stats struct {
+	Hits, Misses  int64
+	Evictions     int64
+	DirtyWrites   int64
+	LogicalReads  int64
+	LogicalWrites int64
+}
+
+// HitRatio returns hits/(hits+misses), or 0 with no traffic.
+func (s Stats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+type frame struct {
+	id    pagefile.PageID
+	data  []byte
+	dirty bool
+	pins  int
+	elem  *list.Element
+}
+
+// Pool is an LRU page cache over one pagefile. Not safe for concurrent
+// use; simulated threads are serialized by the vtime scheduler and real
+// concurrent wrappers add their own locking.
+type Pool struct {
+	pf       *pagefile.PageFile
+	capacity int
+	policy   Policy
+
+	frames map[pagefile.PageID]*frame
+	lru    *list.List // front = most recently used
+	stats  Stats
+}
+
+// New creates a pool of capacity pages (capacity >= 1) over pf.
+func New(pf *pagefile.PageFile, capacity int, policy Policy) (*Pool, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("bufferpool: capacity must be >= 1, got %d", capacity)
+	}
+	return &Pool{
+		pf:       pf,
+		capacity: capacity,
+		policy:   policy,
+		frames:   make(map[pagefile.PageID]*frame, capacity),
+		lru:      list.New(),
+	}, nil
+}
+
+// Capacity returns the pool size in pages.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Resize changes the pool capacity, evicting (and writing back) as needed
+// at virtual time at; it returns the time after any write-backs.
+func (p *Pool) Resize(at vtime.Ticks, capacity int) (vtime.Ticks, error) {
+	if capacity < 1 {
+		return at, fmt.Errorf("bufferpool: capacity must be >= 1, got %d", capacity)
+	}
+	p.capacity = capacity
+	var err error
+	for len(p.frames) > p.capacity {
+		at, err = p.evictOne(at)
+		if err != nil {
+			return at, err
+		}
+	}
+	return at, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the counters.
+func (p *Pool) ResetStats() { p.stats = Stats{} }
+
+// PageSize returns the underlying page size.
+func (p *Pool) PageSize() int { return p.pf.PageSize() }
+
+// evictOne removes the least recently used unpinned frame, writing it back
+// if dirty. It fails if every frame is pinned.
+func (p *Pool) evictOne(at vtime.Ticks) (vtime.Ticks, error) {
+	for e := p.lru.Back(); e != nil; e = e.Prev() {
+		fr := e.Value.(*frame)
+		if fr.pins > 0 {
+			continue
+		}
+		if fr.dirty {
+			var err error
+			at, err = p.pf.WritePage(at, fr.id, fr.data)
+			if err != nil {
+				return at, err
+			}
+			p.stats.DirtyWrites++
+		}
+		p.lru.Remove(e)
+		delete(p.frames, fr.id)
+		p.stats.Evictions++
+		return at, nil
+	}
+	return at, fmt.Errorf("bufferpool: all %d frames pinned", len(p.frames))
+}
+
+// ensureRoom makes space for one more frame.
+func (p *Pool) ensureRoom(at vtime.Ticks) (vtime.Ticks, error) {
+	var err error
+	for len(p.frames) >= p.capacity {
+		at, err = p.evictOne(at)
+		if err != nil {
+			return at, err
+		}
+	}
+	return at, nil
+}
+
+// Get returns the page contents, reading from the device on a miss. The
+// returned slice aliases the frame; callers must not retain it across
+// further pool calls unless they pinned the page.
+func (p *Pool) Get(at vtime.Ticks, id pagefile.PageID) ([]byte, vtime.Ticks, error) {
+	p.stats.LogicalReads++
+	if fr, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		p.lru.MoveToFront(fr.elem)
+		return fr.data, at, nil
+	}
+	p.stats.Misses++
+	var err error
+	at, err = p.ensureRoom(at)
+	if err != nil {
+		return nil, at, err
+	}
+	buf := make([]byte, p.pf.PageSize())
+	at, err = p.pf.ReadPage(at, id, buf)
+	if err != nil {
+		return nil, at, err
+	}
+	fr := &frame{id: id, data: buf}
+	fr.elem = p.lru.PushFront(fr)
+	p.frames[id] = fr
+	return fr.data, at, nil
+}
+
+// Contains reports whether the page is cached (no LRU effect).
+func (p *Pool) Contains(id pagefile.PageID) bool {
+	_, ok := p.frames[id]
+	return ok
+}
+
+// Put stores new page contents through the pool. Under WriteThrough the
+// device write happens immediately; under WriteBack the frame is dirtied.
+func (p *Pool) Put(at vtime.Ticks, id pagefile.PageID, data []byte) (vtime.Ticks, error) {
+	if len(data) != p.pf.PageSize() {
+		return at, fmt.Errorf("bufferpool: put %d bytes, want %d", len(data), p.pf.PageSize())
+	}
+	p.stats.LogicalWrites++
+	fr, ok := p.frames[id]
+	if !ok {
+		var err error
+		at, err = p.ensureRoom(at)
+		if err != nil {
+			return at, err
+		}
+		fr = &frame{id: id, data: make([]byte, len(data))}
+		fr.elem = p.lru.PushFront(fr)
+		p.frames[id] = fr
+	} else {
+		p.lru.MoveToFront(fr.elem)
+	}
+	copy(fr.data, data)
+	if p.policy == WriteThrough {
+		var err error
+		at, err = p.pf.WritePage(at, id, fr.data)
+		if err != nil {
+			return at, err
+		}
+		fr.dirty = false
+		return at, nil
+	}
+	fr.dirty = true
+	return at, nil
+}
+
+// InsertClean installs page contents as a clean frame without any
+// simulated I/O: the caller already paid for the transfer out of band
+// (e.g. a psync batch read or write that bypassed the pool). Room is made
+// by evicting clean frames; a dirty victim would need a timed write, so
+// dirty victims are skipped (pools used with InsertClean are write-through
+// and never hold dirty frames).
+func (p *Pool) InsertClean(id pagefile.PageID, data []byte) {
+	if len(data) != p.pf.PageSize() {
+		return
+	}
+	if fr, ok := p.frames[id]; ok {
+		copy(fr.data, data)
+		fr.dirty = false
+		p.lru.MoveToFront(fr.elem)
+		return
+	}
+	for len(p.frames) >= p.capacity {
+		evicted := false
+		for e := p.lru.Back(); e != nil; e = e.Prev() {
+			fr := e.Value.(*frame)
+			if fr.pins > 0 || fr.dirty {
+				continue
+			}
+			p.lru.Remove(e)
+			delete(p.frames, fr.id)
+			p.stats.Evictions++
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // nothing evictable; skip caching
+		}
+	}
+	fr := &frame{id: id, data: append([]byte(nil), data...)}
+	fr.elem = p.lru.PushFront(fr)
+	p.frames[id] = fr
+}
+
+// Invalidate drops a page from the cache without writing it back (used
+// after out-of-band page rewrites, e.g. psync batch writes that bypass the
+// pool).
+func (p *Pool) Invalidate(id pagefile.PageID) {
+	if fr, ok := p.frames[id]; ok {
+		p.lru.Remove(fr.elem)
+		delete(p.frames, id)
+	}
+}
+
+// Pin prevents eviction of a page until Unpin; the page must be resident.
+func (p *Pool) Pin(id pagefile.PageID) error {
+	fr, ok := p.frames[id]
+	if !ok {
+		return fmt.Errorf("bufferpool: pin of non-resident page %d", id)
+	}
+	fr.pins++
+	return nil
+}
+
+// Unpin releases one pin.
+func (p *Pool) Unpin(id pagefile.PageID) error {
+	fr, ok := p.frames[id]
+	if !ok || fr.pins == 0 {
+		return fmt.Errorf("bufferpool: unpin of unpinned page %d", id)
+	}
+	fr.pins--
+	return nil
+}
+
+// Flush writes all dirty frames back at virtual time at (one sync write
+// each, matching a conventional buffer manager's cleaner).
+func (p *Pool) Flush(at vtime.Ticks) (vtime.Ticks, error) {
+	var err error
+	for e := p.lru.Back(); e != nil; e = e.Prev() {
+		fr := e.Value.(*frame)
+		if !fr.dirty {
+			continue
+		}
+		at, err = p.pf.WritePage(at, fr.id, fr.data)
+		if err != nil {
+			return at, err
+		}
+		fr.dirty = false
+		p.stats.DirtyWrites++
+	}
+	return at, nil
+}
+
+// DirtyCount returns the number of dirty frames.
+func (p *Pool) DirtyCount() int {
+	n := 0
+	for _, fr := range p.frames {
+		if fr.dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of resident frames.
+func (p *Pool) Len() int { return len(p.frames) }

@@ -1,0 +1,260 @@
+package bufferpool
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/flashsim"
+	"repro/internal/pagefile"
+	"repro/internal/ssdio"
+	"repro/internal/vtime"
+)
+
+func newPoolT(t *testing.T, capacity int, policy Policy) (*Pool, *pagefile.PageFile) {
+	t.Helper()
+	dev := flashsim.MustDevice(flashsim.F120())
+	f, err := ssdio.NewSpace(dev).Create("bp", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := pagefile.New(f, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(pf, capacity, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, pf
+}
+
+func fillPage(b byte) []byte { return bytes.Repeat([]byte{b}, 4096) }
+
+func TestNewValidation(t *testing.T) {
+	_, pf := newPoolT(t, 1, WriteBack)
+	if _, err := New(pf, 0, WriteBack); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestHitAvoidsIO(t *testing.T) {
+	p, pf := newPoolT(t, 4, WriteBack)
+	id := pf.Alloc()
+	if err := pf.WritePageNoCost(id, fillPage(5)); err != nil {
+		t.Fatal(err)
+	}
+	_, at1, err := p.Get(0, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at1 == 0 {
+		t.Fatal("miss cost no time")
+	}
+	data, at2, err := p.Get(at1, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at2 != at1 {
+		t.Fatal("hit cost time")
+	}
+	if data[0] != 5 {
+		t.Fatal("wrong content")
+	}
+	s := p.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.HitRatio() != 0.5 {
+		t.Fatalf("hit ratio %f", s.HitRatio())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	p, pf := newPoolT(t, 2, WriteBack)
+	ids := []pagefile.PageID{pf.Alloc(), pf.Alloc(), pf.Alloc()}
+	var at vtime.Ticks
+	var err error
+	for _, id := range ids {
+		if _, at, err = p.Get(at, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ids[0] is the LRU victim; ids[1], ids[2] remain.
+	if p.Contains(ids[0]) {
+		t.Fatal("LRU victim still cached")
+	}
+	if !p.Contains(ids[1]) || !p.Contains(ids[2]) {
+		t.Fatal("recently used pages evicted")
+	}
+	if p.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", p.Stats().Evictions)
+	}
+}
+
+func TestWriteBackDirtyEviction(t *testing.T) {
+	p, pf := newPoolT(t, 1, WriteBack)
+	a, b := pf.Alloc(), pf.Alloc()
+	at, err := p.Put(0, a, fillPage(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writesBefore := pf.File().Stats().SyncCalls
+	// Loading b evicts dirty a -> one device write then one read.
+	if _, at, err = p.Get(at, b); err != nil {
+		t.Fatal(err)
+	}
+	writesAfter := pf.File().Stats().SyncCalls
+	if writesAfter-writesBefore != 2 {
+		t.Fatalf("expected write-back + read = 2 device ops, got %d", writesAfter-writesBefore)
+	}
+	// Durable content of a must be the dirty data.
+	out := make([]byte, 4096)
+	if err := pf.ReadPageNoCost(a, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 {
+		t.Fatal("dirty page lost on eviction")
+	}
+	_ = at
+}
+
+func TestWriteThroughNeverDirty(t *testing.T) {
+	p, pf := newPoolT(t, 2, WriteThrough)
+	id := pf.Alloc()
+	if _, err := p.Put(0, id, fillPage(9)); err != nil {
+		t.Fatal(err)
+	}
+	if p.DirtyCount() != 0 {
+		t.Fatal("write-through left dirty frame")
+	}
+	out := make([]byte, 4096)
+	if err := pf.ReadPageNoCost(id, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 9 {
+		t.Fatal("write-through did not reach device")
+	}
+}
+
+func TestFlushWritesAllDirty(t *testing.T) {
+	p, pf := newPoolT(t, 4, WriteBack)
+	ids := []pagefile.PageID{pf.Alloc(), pf.Alloc(), pf.Alloc()}
+	var at vtime.Ticks
+	var err error
+	for i, id := range ids {
+		if at, err = p.Put(at, id, fillPage(byte(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.DirtyCount() != 3 {
+		t.Fatalf("dirty = %d", p.DirtyCount())
+	}
+	if at, err = p.Flush(at); err != nil {
+		t.Fatal(err)
+	}
+	if p.DirtyCount() != 0 {
+		t.Fatal("flush left dirty frames")
+	}
+	for i, id := range ids {
+		out := make([]byte, 4096)
+		if err := pf.ReadPageNoCost(id, out); err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != byte(i+1) {
+			t.Fatalf("page %d content %d", i, out[0])
+		}
+	}
+}
+
+func TestPinPreventsEviction(t *testing.T) {
+	p, pf := newPoolT(t, 1, WriteBack)
+	a, b := pf.Alloc(), pf.Alloc()
+	if _, _, err := p.Get(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Pin(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Get(0, b); err == nil {
+		t.Fatal("eviction of pinned page succeeded")
+	}
+	if err := p.Unpin(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Get(0, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unpin(a); err == nil {
+		t.Fatal("unpin of evicted/unpinned page succeeded")
+	}
+	if err := p.Pin(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unpin(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertCleanAndInvalidate(t *testing.T) {
+	p, pf := newPoolT(t, 2, WriteThrough)
+	id := pf.Alloc()
+	p.InsertClean(id, fillPage(3))
+	if !p.Contains(id) {
+		t.Fatal("InsertClean did not cache")
+	}
+	st := pf.File().Stats()
+	if st.SyncCalls != 0 {
+		t.Fatal("InsertClean hit the device")
+	}
+	data, at, err := p.Get(0, id)
+	if err != nil || at != 0 || data[0] != 3 {
+		t.Fatalf("get after insert: %v %v %v", data[0], at, err)
+	}
+	p.Invalidate(id)
+	if p.Contains(id) {
+		t.Fatal("Invalidate left page cached")
+	}
+	// InsertClean with wrong size is ignored.
+	p.InsertClean(id, []byte{1})
+	if p.Contains(id) {
+		t.Fatal("wrong-size InsertClean cached")
+	}
+}
+
+func TestInsertCleanEvictsCleanOnly(t *testing.T) {
+	p, pf := newPoolT(t, 1, WriteBack)
+	a, b := pf.Alloc(), pf.Alloc()
+	if _, err := p.Put(0, a, fillPage(1)); err != nil { // dirty
+		t.Fatal(err)
+	}
+	p.InsertClean(b, fillPage(2))
+	// The only frame is dirty: InsertClean must refuse to evict it.
+	if p.Contains(b) {
+		t.Fatal("InsertClean evicted a dirty frame")
+	}
+	if !p.Contains(a) {
+		t.Fatal("dirty frame vanished")
+	}
+}
+
+func TestResize(t *testing.T) {
+	p, pf := newPoolT(t, 4, WriteBack)
+	var at vtime.Ticks
+	var err error
+	ids := make([]pagefile.PageID, 4)
+	for i := range ids {
+		ids[i] = pf.Alloc()
+		if at, err = p.Put(at, ids[i], fillPage(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if at, err = p.Resize(at, 2); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("len after resize = %d", p.Len())
+	}
+	if _, err = p.Resize(at, 0); err == nil {
+		t.Fatal("resize to 0 accepted")
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/kv"
+	"repro/internal/vtime"
+)
+
+// Concurrent wraps a Tree with the paper's simple concurrency scheme
+// (Section 4): searches run concurrently; the OPQ append is an instant
+// in-memory operation; the whole index is exclusively locked for every OPQ
+// flush ("PIO B-tree exclusively locks the entire index for every OPQ
+// flush operation"); the OPQ is exclusively locked during its periodic
+// sort. Because PIO B-tree has no dirty buffers, concurrent readers never
+// interleave reads with writes except during a flush.
+//
+// Two locking planes exist:
+//
+//   - real sync.RWMutex locking so the wrapper is actually safe for
+//     concurrent goroutine use;
+//   - a vtime.Mutex reflecting the same critical sections in virtual time,
+//     so the deterministic thread scheduler observes contention.
+type Concurrent struct {
+	mu   sync.RWMutex
+	tree *Tree
+
+	// vlock models the index-exclusive lock in virtual time.
+	vlock vtime.Mutex
+	// vopq models the OPQ sort lock in virtual time.
+	vopq vtime.Mutex
+}
+
+// NewConcurrent wraps tree.
+func NewConcurrent(tree *Tree) *Concurrent { return &Concurrent{tree: tree} }
+
+// Tree returns the wrapped tree (callers must not use it concurrently).
+func (c *Concurrent) Tree() *Tree { return c.tree }
+
+// VLockStats reports (waits, waited-ticks) on the virtual index lock.
+func (c *Concurrent) VLockStats() (int64, vtime.Ticks) {
+	return c.vlock.Waits, c.vlock.Contended
+}
+
+// Search performs a concurrent point search. Readers share the index; a
+// flush in progress (virtual lock held) delays them in virtual time.
+func (c *Concurrent) Search(at vtime.Ticks, k kv.Key) (kv.Value, bool, vtime.Ticks, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	// Readers do not take the virtual exclusive lock, but they cannot
+	// start below the lock's horizon while a flush holds it.
+	start := vtime.Max(at, c.vlock.FreeAt())
+	return c.tree.Search(start, k)
+}
+
+// RangeSearch performs a concurrent prange search.
+func (c *Concurrent) RangeSearch(at vtime.Ticks, lo, hi kv.Key) ([]kv.Record, vtime.Ticks, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	start := vtime.Max(at, c.vlock.FreeAt())
+	return c.tree.RangeSearch(start, lo, hi)
+}
+
+// Insert buffers an insert; a full OPQ triggers an exclusively locked
+// flush.
+func (c *Concurrent) Insert(at vtime.Ticks, r kv.Record) (vtime.Ticks, error) {
+	return c.update(at, kv.Entry{Rec: r, Op: kv.OpInsert})
+}
+
+// Delete buffers a delete.
+func (c *Concurrent) Delete(at vtime.Ticks, k kv.Key) (vtime.Ticks, error) {
+	return c.update(at, kv.Entry{Rec: kv.Record{Key: k}, Op: kv.OpDelete})
+}
+
+// Update buffers an update.
+func (c *Concurrent) Update(at vtime.Ticks, r kv.Record) (vtime.Ticks, error) {
+	return c.update(at, kv.Entry{Rec: r, Op: kv.OpUpdate})
+}
+
+func (c *Concurrent) update(at vtime.Ticks, e kv.Entry) (vtime.Ticks, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tree.opq.Full() {
+		// Exclusive index lock for the flush (single-threaded, per paper).
+		start := c.vlock.Acquire(at)
+		done, err := c.tree.FlushBatch(start, c.tree.cfg.BCnt)
+		c.vlock.Release(done)
+		if err != nil {
+			return done, err
+		}
+		at = done
+	}
+	// OPQ appends serialize on the (short) OPQ lock; the periodic sort
+	// inside Append lengthens the hold occasionally, exactly the paper's
+	// "for every speriod, the entire OPQ is exclusively locked".
+	start := c.vopq.Acquire(at)
+	var err error
+	var done vtime.Ticks
+	switch e.Op {
+	case kv.OpInsert:
+		done, err = c.tree.Insert(start, e.Rec)
+	case kv.OpDelete:
+		done, err = c.tree.Delete(start, e.Rec.Key)
+	default:
+		done, err = c.tree.Update(start, e.Rec)
+	}
+	c.vopq.Release(done)
+	return done, err
+}
+
+// Checkpoint flushes everything under the exclusive lock.
+func (c *Concurrent) Checkpoint(at vtime.Ticks) (vtime.Ticks, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	start := c.vlock.Acquire(at)
+	done, err := c.tree.Checkpoint(start)
+	c.vlock.Release(done)
+	return done, err
+}

@@ -1,0 +1,409 @@
+// Package core implements the paper's primary contribution: the PIO B-tree
+// (Parallel I/O B-tree, Section 3), a B+-tree variant whose algorithms are
+// rebuilt around psync I/O so the index exploits the internal parallelism
+// of flash SSDs:
+//
+//   - MPSearch descends the tree level by level, reading all needed nodes
+//     of a level in one psync call bounded by PioMax (Algorithm 1);
+//   - updates are buffered in the Operation Queue (OPQ) and batch-applied
+//     by bupdate, which reads and writes leaf pages via psync (Algorithm 2);
+//   - leaves are asymmetric: L Leaf Segments (LS) of one page each with an
+//     append-only entry log, so an update touches a single page; the LSMap
+//     caches each leaf's last-LS id; shrink cancels insert/delete pairs
+//     before splits (Section 3.2.2, Algorithm 3);
+//   - prange search reads the leaves of a key range in parallel instead of
+//     chasing the leaf chain (Section 3.1.2);
+//   - node sizes are chosen by the cost model of Section 3.2.1/3.6.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/kv"
+	"repro/internal/pagefile"
+)
+
+// node kinds on disk.
+const (
+	kindInternal byte = 1
+	kindLeafSeg  byte = 3
+)
+
+// internalHeaderSize is the header of an internal node page:
+// kind(1) level(1) count(2) pad(12).
+const internalHeaderSize = 16
+
+// segHeaderSize is the header of every leaf segment page: kind(1)
+// segIdx(1) count(2) sortedCount(4) next(8). sortedCount and next are
+// meaningful only in segment 0.
+const segHeaderSize = 16
+
+// internalNode is the in-memory form of a PIO B-tree internal node
+// (identical to a classic B+-tree internal node, Figure 5).
+type internalNode struct {
+	id       pagefile.PageID
+	level    int
+	keys     []kv.Key
+	children []pagefile.PageID
+}
+
+// maxInternalKeys is the separator capacity of an internal node page.
+func maxInternalKeys(pageSize int) int { return (pageSize - internalHeaderSize - 8) / 16 }
+
+func (n *internalNode) encode(buf []byte) error {
+	for i := range buf {
+		buf[i] = 0
+	}
+	if len(n.keys) > maxInternalKeys(len(buf)) {
+		return fmt.Errorf("core: internal %d overflow: %d keys", n.id, len(n.keys))
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return fmt.Errorf("core: internal %d: %d keys, %d children", n.id, len(n.keys), len(n.children))
+	}
+	buf[0] = kindInternal
+	buf[1] = byte(n.level)
+	binary.LittleEndian.PutUint16(buf[2:], uint16(len(n.keys)))
+	off := internalHeaderSize
+	for _, k := range n.keys {
+		binary.LittleEndian.PutUint64(buf[off:], k)
+		off += 8
+	}
+	for _, c := range n.children {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(c))
+		off += 8
+	}
+	return nil
+}
+
+func decodeInternal(id pagefile.PageID, buf []byte) (*internalNode, error) {
+	if buf[0] != kindInternal {
+		return nil, fmt.Errorf("core: page %d is not an internal node (kind %d)", id, buf[0])
+	}
+	n := &internalNode{id: id, level: int(buf[1])}
+	count := int(binary.LittleEndian.Uint16(buf[2:]))
+	if count > maxInternalKeys(len(buf)) {
+		return nil, fmt.Errorf("core: corrupt internal %d: count %d", id, count)
+	}
+	n.keys = make([]kv.Key, count)
+	n.children = make([]pagefile.PageID, count+1)
+	off := internalHeaderSize
+	for i := range n.keys {
+		n.keys[i] = binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+	}
+	for i := range n.children {
+		n.children[i] = pagefile.PageID(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	return n, nil
+}
+
+// childIndex is the paper's CheckSearchNeeded predicate: the child i such
+// that K[i-1] <= k < K[i].
+func (n *internalNode) childIndex(k kv.Key) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if k < n.keys[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// leafNode is the in-memory form of an asymmetric PIO B-tree leaf: L
+// segments of one page each holding an append-only log of OPQ-style
+// entries. entries[:sorted] is the key-sorted base region produced by the
+// last shrink (all inserts); entries[sorted:] is the appended tail in
+// arrival order (any op type).
+//
+// A leafNode may be a partial view holding only the entries from segment
+// firstSeg onward (the update path reads just the leaf tail). Segments
+// before firstSeg are implied full — entries fill segments in order — so
+// the total entry count is still known. sorted and next are meaningful
+// only when firstSeg == 0 (full view).
+type leafNode struct {
+	id       pagefile.PageID // first segment's page id; segments are consecutive
+	segs     int             // L
+	firstSeg int             // 0 for a full view
+	next     pagefile.PageID // right sibling (leaf chain)
+	sorted   int
+	entries  []kv.Entry // entries from segment firstSeg onward
+}
+
+// segCap is the entry capacity of one leaf segment page.
+func segCap(pageSize int) int { return (pageSize - segHeaderSize) / kv.EntrySize }
+
+// leafCap is the total entry capacity of a leaf with the given shape.
+func leafCap(pageSize, segs int) int { return segs * segCap(pageSize) }
+
+// segOf returns the segment index holding entry i.
+func segOf(pageSize, i int) int { return i / segCap(pageSize) }
+
+// totalCount returns the leaf's total entry count, including the implied
+// full segments before firstSeg.
+func (l *leafNode) totalCount(pageSize int) int {
+	return l.firstSeg*segCap(pageSize) + len(l.entries)
+}
+
+// encodeSeg serializes segment s of the leaf into buf (one page). The
+// segment must be within the view (s >= firstSeg); segment 0 metadata is
+// only written from a full view.
+func (l *leafNode) encodeSeg(buf []byte, s int) error {
+	if s < l.firstSeg || s >= l.segs {
+		return fmt.Errorf("core: leaf %d: segment %d outside view [%d,%d)", l.id, s, l.firstSeg, l.segs)
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	cap1 := segCap(len(buf))
+	lo := s*cap1 - l.firstSeg*cap1
+	hi := lo + cap1
+	if hi > len(l.entries) {
+		hi = len(l.entries)
+	}
+	n := 0
+	if hi > lo {
+		n = hi - lo
+	}
+	buf[0] = kindLeafSeg
+	buf[1] = byte(s)
+	binary.LittleEndian.PutUint16(buf[2:], uint16(n))
+	if s == 0 {
+		binary.LittleEndian.PutUint32(buf[4:], uint32(l.sorted))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(l.next))
+	}
+	off := segHeaderSize
+	for i := lo; i < lo+n; i++ {
+		kv.PutEntry(buf[off:], l.entries[i])
+		off += kv.EntrySize
+	}
+	return nil
+}
+
+// encodeAll serializes the whole leaf into buf (segs pages); requires a
+// full view.
+func (l *leafNode) encodeAll(buf []byte, pageSize int) error {
+	if l.firstSeg != 0 {
+		return fmt.Errorf("core: leaf %d: encodeAll on partial view from seg %d", l.id, l.firstSeg)
+	}
+	if len(buf) != l.segs*pageSize {
+		return fmt.Errorf("core: leaf %d: buffer %d bytes, want %d", l.id, len(buf), l.segs*pageSize)
+	}
+	for s := 0; s < l.segs; s++ {
+		if err := l.encodeSeg(buf[s*pageSize:(s+1)*pageSize], s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeTail parses a partial leaf view from buf, which holds the
+// consecutive segments starting at firstSeg. Decoding stops at the first
+// non-full segment (later segments are empty by the append invariant).
+func decodeTail(id pagefile.PageID, buf []byte, pageSize, segs, firstSeg int) (*leafNode, error) {
+	n := len(buf) / pageSize
+	l := &leafNode{id: id, segs: segs, firstSeg: firstSeg}
+	for s := 0; s < n; s++ {
+		page := buf[s*pageSize : (s+1)*pageSize]
+		if page[0] != kindLeafSeg {
+			return nil, fmt.Errorf("core: leaf %d seg %d: bad kind %d", id, firstSeg+s, page[0])
+		}
+		cnt := int(binary.LittleEndian.Uint16(page[2:]))
+		if cnt > segCap(pageSize) {
+			return nil, fmt.Errorf("core: leaf %d seg %d: count %d", id, firstSeg+s, cnt)
+		}
+		if firstSeg+s == 0 {
+			l.sorted = int(binary.LittleEndian.Uint32(page[4:]))
+			l.next = pagefile.PageID(binary.LittleEndian.Uint64(page[8:]))
+		}
+		off := segHeaderSize
+		for i := 0; i < cnt; i++ {
+			l.entries = append(l.entries, kv.GetEntry(page[off:]))
+			off += kv.EntrySize
+		}
+		if cnt < segCap(pageSize) {
+			break
+		}
+	}
+	return l, nil
+}
+
+// fillFront upgrades a partial view to a full view using buf, the
+// contents of segments [0, firstSeg).
+func (l *leafNode) fillFront(buf []byte, pageSize, firstSeg int) error {
+	if l.firstSeg != firstSeg {
+		return fmt.Errorf("core: leaf %d: fillFront mismatch %d != %d", l.id, l.firstSeg, firstSeg)
+	}
+	if l.firstSeg == 0 {
+		return nil
+	}
+	front := make([]kv.Entry, 0, firstSeg*segCap(pageSize))
+	for s := 0; s < firstSeg; s++ {
+		page := buf[s*pageSize : (s+1)*pageSize]
+		if page[0] != kindLeafSeg {
+			return fmt.Errorf("core: leaf %d seg %d: bad kind %d", l.id, s, page[0])
+		}
+		cnt := int(binary.LittleEndian.Uint16(page[2:]))
+		if cnt != segCap(pageSize) {
+			return fmt.Errorf("core: leaf %d seg %d: front segment not full (%d)", l.id, s, cnt)
+		}
+		if s == 0 {
+			l.sorted = int(binary.LittleEndian.Uint32(page[4:]))
+			l.next = pagefile.PageID(binary.LittleEndian.Uint64(page[8:]))
+		}
+		off := segHeaderSize
+		for i := 0; i < cnt; i++ {
+			front = append(front, kv.GetEntry(page[off:]))
+			off += kv.EntrySize
+		}
+	}
+	l.entries = append(front, l.entries...)
+	l.firstSeg = 0
+	return nil
+}
+
+// decodeLeaf parses a whole leaf from buf (segs consecutive pages).
+func decodeLeaf(id pagefile.PageID, buf []byte, pageSize, segs int) (*leafNode, error) {
+	if len(buf) != segs*pageSize {
+		return nil, fmt.Errorf("core: leaf %d: buffer %d bytes, want %d", id, len(buf), segs*pageSize)
+	}
+	l := &leafNode{id: id, segs: segs}
+	for s := 0; s < segs; s++ {
+		page := buf[s*pageSize : (s+1)*pageSize]
+		if page[0] != kindLeafSeg {
+			return nil, fmt.Errorf("core: leaf %d seg %d: bad kind %d", id, s, page[0])
+		}
+		n := int(binary.LittleEndian.Uint16(page[2:]))
+		if n > segCap(pageSize) {
+			return nil, fmt.Errorf("core: leaf %d seg %d: count %d", id, s, n)
+		}
+		if s == 0 {
+			l.sorted = int(binary.LittleEndian.Uint32(page[4:]))
+			l.next = pagefile.PageID(binary.LittleEndian.Uint64(page[8:]))
+		}
+		off := segHeaderSize
+		for i := 0; i < n; i++ {
+			l.entries = append(l.entries, kv.GetEntry(page[off:]))
+			off += kv.EntrySize
+		}
+		if n < segCap(pageSize) {
+			break // later segments are empty
+		}
+	}
+	if l.sorted > len(l.entries) {
+		return nil, fmt.Errorf("core: leaf %d: sorted %d > entries %d", id, l.sorted, len(l.entries))
+	}
+	return l, nil
+}
+
+// lastSeg returns the segment index holding the newest entry (0 for an
+// empty leaf): the last LS cached in the LSMap.
+func (l *leafNode) lastSeg(pageSize int) int {
+	n := l.totalCount(pageSize)
+	if n == 0 {
+		return 0
+	}
+	return segOf(pageSize, n-1)
+}
+
+// appendEntries extends the leaf's log.
+func (l *leafNode) appendEntries(entries []kv.Entry) {
+	l.entries = append(l.entries, entries...)
+}
+
+// lookup returns the newest entry for key k and whether any entry exists:
+// the appended tail is scanned newest-first, then the sorted base region.
+func (l *leafNode) lookup(k kv.Key) (kv.Entry, bool) {
+	for i := len(l.entries) - 1; i >= l.sorted; i-- {
+		if l.entries[i].Rec.Key == k {
+			return l.entries[i], true
+		}
+	}
+	// Binary search the base region; take the last of an equal-key run.
+	lo, hi := 0, l.sorted
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.entries[mid].Rec.Key <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo > 0 && l.entries[lo-1].Rec.Key == k {
+		return l.entries[lo-1], true
+	}
+	return kv.Entry{}, false
+}
+
+// liveRecords resolves the leaf's log into the current sorted set of live
+// records (base region plus tail, deletes and updates applied). It is the
+// read half of the shrink operation and of range scans.
+func (l *leafNode) liveRecords() []kv.Record {
+	if len(l.entries) == l.sorted {
+		// Fast path: base region only, already sorted, all inserts.
+		out := make([]kv.Record, l.sorted)
+		for i, e := range l.entries[:l.sorted] {
+			out[i] = e.Rec
+		}
+		return out
+	}
+	// Replay the log in arrival order onto the base region. Order tracking
+	// is separate from liveness: a delete followed by a re-insert of the
+	// same key must not list the key twice.
+	m := make(map[kv.Key]kv.Value, len(l.entries))
+	inOrder := make(map[kv.Key]bool, len(l.entries))
+	order := make([]kv.Key, 0, len(l.entries))
+	note := func(k kv.Key) {
+		if !inOrder[k] {
+			inOrder[k] = true
+			order = append(order, k)
+		}
+	}
+	for _, e := range l.entries[:l.sorted] {
+		note(e.Rec.Key)
+		m[e.Rec.Key] = e.Rec.Value
+	}
+	for _, e := range l.entries[l.sorted:] {
+		switch e.Op {
+		case kv.OpInsert, kv.OpUpdate:
+			note(e.Rec.Key)
+			m[e.Rec.Key] = e.Rec.Value
+		case kv.OpDelete:
+			delete(m, e.Rec.Key)
+		}
+	}
+	out := make([]kv.Record, 0, len(m))
+	for _, k := range order {
+		if v, ok := m[k]; ok {
+			out = append(out, kv.Record{Key: k, Value: v})
+		}
+	}
+	kv.SortRecords(out)
+	return out
+}
+
+// shrink rebuilds the leaf from its live records: the paper's shrink
+// operation (Section 3.2.2) — index-delete operations cancel index-insert
+// operations with the same records, then the survivors are sorted into a
+// fresh base region.
+func (l *leafNode) shrink() {
+	recs := l.liveRecords()
+	l.entries = l.entries[:0]
+	for _, r := range recs {
+		l.entries = append(l.entries, kv.Entry{Rec: r, Op: kv.OpInsert})
+	}
+	l.sorted = len(l.entries)
+}
+
+// minKey returns the smallest live key (only valid for a shrunk leaf with
+// at least one entry).
+func (l *leafNode) minKey() kv.Key {
+	if l.sorted == 0 {
+		return 0
+	}
+	return l.entries[0].Rec.Key
+}

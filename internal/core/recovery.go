@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bufferpool"
+	"repro/internal/kv"
+	"repro/internal/pagefile"
+	"repro/internal/vtime"
+	"repro/internal/wal"
+)
+
+// RecoveryReport summarizes what Recover did.
+type RecoveryReport struct {
+	// UndoneFlushes counts incomplete flushes rolled back.
+	UndoneFlushes int
+	// UndoPagesApplied counts node pre-images restored.
+	UndoPagesApplied int
+	// RedoneEntries counts logical redo records replayed into the OPQ.
+	RedoneEntries int
+	// SkippedEntries counts redo records covered by completed flushes.
+	SkippedEntries int
+}
+
+// Recover implements the paper's crash-recovery procedure (Section 3.4)
+// for this index relation:
+//
+//  1. scan the durable log; pair FlushStart/FlushEnd records;
+//  2. undo phase (before redo, as the paper specifies): for every
+//     incomplete flush, restore the pre-images from its flush undo logs in
+//     reverse order;
+//  3. redo phase: replay logical redo logs into the OPQ, skipping records
+//     that fall inside the key range of a completed flush that followed
+//     them (logical redo is not idempotent);
+//  4. checkpoint records clear everything before them.
+//
+// The tree's in-memory OPQ is rebuilt; structural state (root, height) is
+// taken from meta, which the caller persists separately (the experiments
+// snapshot it; a full DBMS would keep it in the catalog).
+func (t *Tree) Recover(at vtime.Ticks) (RecoveryReport, vtime.Ticks, error) {
+	var rep RecoveryReport
+	if t.log == nil {
+		return rep, at, fmt.Errorf("core: Recover called without a WAL attached")
+	}
+	recs, err := t.log.Records()
+	if err != nil {
+		return rep, at, err
+	}
+	// Only this relation's records matter.
+	var mine []wal.Record
+	for _, r := range recs {
+		if r.Relation == t.cfg.Relation {
+			mine = append(mine, r)
+		}
+	}
+	// Cut at the last checkpoint: everything before is fully flushed.
+	start := 0
+	for i, r := range mine {
+		if r.Kind == wal.KindCheckpoint {
+			start = i + 1
+		}
+	}
+	mine = mine[start:]
+
+	// Pair flushes.
+	completed := map[uint64][2]kv.Key{} // flushID -> [lo,hi]
+	started := map[uint64]bool{}
+	for _, r := range mine {
+		switch r.Kind {
+		case wal.KindFlushStart:
+			started[r.FlushID] = true
+		case wal.KindFlushEnd:
+			if started[r.FlushID] {
+				completed[r.FlushID] = [2]kv.Key{r.KeyLo, r.KeyHi}
+				delete(started, r.FlushID)
+			}
+		}
+	}
+
+	// Undo phase: roll back incomplete flushes (pre-images in reverse).
+	for i := len(mine) - 1; i >= 0; i-- {
+		r := mine[i]
+		if r.Kind != wal.KindFlushUndo || !started[r.FlushID] {
+			continue
+		}
+		if len(r.UndoInfo) != t.cfg.PageSize {
+			return rep, at, fmt.Errorf("core: flush undo for page %d has %d bytes", r.NodeID, len(r.UndoInfo))
+		}
+		if err := t.pf.WritePageNoCost(pagefile.PageID(r.NodeID), r.UndoInfo); err != nil {
+			return rep, at, err
+		}
+		// Charge a timed page write for the undo.
+		var werr error
+		at, werr = t.pf.WritePage(at, pagefile.PageID(r.NodeID), r.UndoInfo)
+		if werr != nil {
+			return rep, at, werr
+		}
+		t.pool.Invalidate(pagefile.PageID(r.NodeID))
+		rep.UndoPagesApplied++
+	}
+	rep.UndoneFlushes = len(started)
+
+	// Redo phase: rebuild the OPQ from logical redo logs. A record is
+	// skipped when a completed flush that STARTED AFTER the record was
+	// logged covers its key (the flush consumed it). Flush ordering is by
+	// log position, so we track which completed flushes lie ahead.
+	t.opq.Reset()
+	t.count = 0
+	for i, r := range mine {
+		if r.Kind != wal.KindLogicalRedo {
+			continue
+		}
+		skip := false
+		for j := i + 1; j < len(mine); j++ {
+			s := mine[j]
+			if s.Kind == wal.KindFlushStart {
+				if rng, ok := completed[s.FlushID]; ok && r.Key >= rng[0] && r.Key <= rng[1] {
+					skip = true
+					break
+				}
+			}
+		}
+		if skip {
+			rep.SkippedEntries++
+			continue
+		}
+		e := kv.Entry{Rec: kv.Record{Key: r.Key, Value: r.Value}, Op: kv.Op(r.Op)}
+		if t.opq.Full() {
+			// Recovery cannot trigger flushes (the log is being replayed);
+			// an overfull queue here means the pre-crash tree violated its
+			// own flush-on-full rule.
+			return rep, at, fmt.Errorf("core: OPQ overflow during recovery")
+		}
+		if err := t.opq.Append(e); err != nil {
+			return rep, at, err
+		}
+		rep.RedoneEntries++
+	}
+	// Recompute the logical count from disk plus the rebuilt OPQ.
+	if err := t.recountNoCost(); err != nil {
+		return rep, at, err
+	}
+	return rep, at, nil
+}
+
+// recountNoCost recomputes t.count by walking the tree and overlaying the
+// OPQ (recovery bookkeeping; no simulated I/O).
+func (t *Tree) recountNoCost() error {
+	var total int64
+	var walk func(id pagefile.PageID, level int) error
+	walk = func(id pagefile.PageID, level int) error {
+		if level == 0 {
+			l, err := t.readWholeLeafNoCost(id)
+			if err != nil {
+				return err
+			}
+			total += int64(len(l.liveRecords()))
+			return nil
+		}
+		buf := make([]byte, t.cfg.PageSize)
+		if err := t.pf.ReadPageNoCost(id, buf); err != nil {
+			return err
+		}
+		n, err := decodeInternal(id, buf)
+		if err != nil {
+			return err
+		}
+		for _, c := range n.children {
+			if err := walk(c, level-1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, t.height-1); err != nil {
+		return err
+	}
+	for _, e := range t.opq.Entries() {
+		switch e.Op {
+		case kv.OpInsert:
+			total++
+		case kv.OpDelete:
+			total--
+		}
+	}
+	t.count = total
+	return nil
+}
+
+// Meta captures the structural state that a DBMS catalog would persist.
+type Meta struct {
+	Root   pagefile.PageID
+	Height int
+	Count  int64
+}
+
+// Snapshot returns the current structural state.
+func (t *Tree) Snapshot() Meta {
+	return Meta{Root: t.root, Height: t.height, Count: t.count}
+}
+
+// RestoreMeta resets the structural state (crash-recovery tests restore
+// the pre-crash durable snapshot, then call Recover).
+func (t *Tree) RestoreMeta(m Meta) {
+	t.root = m.Root
+	t.height = m.Height
+	t.count = m.Count
+}
+
+// CrashVolatileState simulates a crash: the OPQ, LSMap and buffer pool
+// contents vanish; only the simulated SSD (pagefile + forced WAL) remains.
+func (t *Tree) CrashVolatileState() {
+	if fresh, err := NewOPQ(t.opq.Cap(), t.cfg.SPeriod); err == nil {
+		t.opq = fresh
+	} else {
+		t.opq.Reset()
+	}
+	t.lsmap = NewLSMap(t.cfg.LeafSegs)
+	t.pendingInternal = nil
+	if pool, err := bufferpool.New(t.pf, t.pool.Capacity(), bufferpool.WriteThrough); err == nil {
+		t.pool = pool
+	}
+	if t.log != nil {
+		t.log.Crash()
+	}
+}

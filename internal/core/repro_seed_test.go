@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/kv"
+	"repro/internal/vtime"
+)
+
+// TestReproSeedRangeModel pins the quick-found regression seed for the
+// prange-vs-model property.
+func TestReproSeedRangeModel(t *testing.T) {
+	seed := int64(-730848311996065736)
+	cfg := smallCfg()
+	cfg.BCnt = 32
+	tr := newQuickTree(cfg)
+	if tr == nil {
+		t.Fatal("setup failed")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	model := make(map[kv.Key]kv.Value)
+	var at vtime.Ticks
+	var err error
+	for i := 0; i < 800; i++ {
+		k := uint64(rng.Intn(300))
+		if rng.Intn(4) == 0 {
+			if _, ok := model[k]; ok {
+				at, err = tr.Delete(at, k)
+				delete(model, k)
+			}
+		} else {
+			at, err = tr.Insert(at, kv.Record{Key: k, Value: uint64(i)})
+			model[k] = uint64(i)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	lo := uint64(rng.Intn(150))
+	hi := lo + uint64(rng.Intn(150)) + 1
+	got, _, err := tr.RangeSearch(at, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for k := range model {
+		if k >= lo && k < hi {
+			want++
+		}
+	}
+	if len(got) != want {
+		// Diagnose: which keys diverge?
+		gotSet := map[kv.Key]kv.Value{}
+		for _, r := range got {
+			gotSet[r.Key] = r.Value
+		}
+		for k, v := range model {
+			if k >= lo && k < hi {
+				if gv, ok := gotSet[k]; !ok {
+					sv, sok, _, _ := tr.Search(0, k)
+					t.Logf("missing key %d (model v=%d); point search = %d,%v", k, v, sv, sok)
+				} else if gv != v {
+					t.Logf("key %d value %d, want %d", k, gv, v)
+				}
+			}
+		}
+		for k := range gotSet {
+			if _, ok := model[k]; !ok {
+				t.Logf("extra key %d", k)
+			}
+		}
+		t.Fatalf("range [%d,%d): got %d want %d (opq=%d)", lo, hi, len(got), want, tr.OPQLen())
+	}
+	for i := range got {
+		if got[i].Value != model[got[i].Key] {
+			t.Fatalf("value mismatch at %d", got[i].Key)
+		}
+	}
+}

@@ -1,0 +1,547 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bufferpool"
+	"repro/internal/kv"
+	"repro/internal/pagefile"
+	"repro/internal/vtime"
+	"repro/internal/wal"
+)
+
+// Config parameterizes a PIO B-tree.
+type Config struct {
+	// PageSize is the internal-node and Leaf Segment size in bytes (the
+	// pagefile page size).
+	PageSize int
+	// LeafSegs is L, the leaf node size in segments (Section 3.2.2).
+	LeafSegs int
+	// OPQPages is O, the Operation Queue size in pages; its entry capacity
+	// is OPQPages*PageSize/EntrySize.
+	OPQPages int
+	// PioMax bounds the number of I/Os per psync call (Section 3.1.1);
+	// defaults to 64 when zero, the paper's setting.
+	PioMax int
+	// SPeriod is the OPQ sort period (paper default 5000).
+	SPeriod int
+	// BCnt bounds the entries processed by one batch update (paper default
+	// 5000); <= 0 flushes the whole OPQ.
+	BCnt int
+	// BufferBytes is the internal-node buffer pool budget in bytes.
+	BufferBytes int
+	// CPUPerNode is CPU time charged per node examined.
+	CPUPerNode vtime.Ticks
+	// FillFactor is the bulk-load utilization (paper's U); default 0.7.
+	FillFactor float64
+
+	// DisableLSMap turns the last-LS cache off (ablation): update paths
+	// then read the back half of each leaf, the paper's fallback.
+	DisableLSMap bool
+	// DisablePsync makes every batched read/write a sequence of sync I/Os
+	// (ablation isolating the psync contribution).
+	DisablePsync bool
+	// SortedLeaves disables the append-only leaf optimization (ablation):
+	// every leaf update reads the whole leaf, applies the operations into
+	// the sorted base region, and rewrites the whole leaf — the classic
+	// B+-tree behavior the paper's Section 3.2.2 replaces ("This
+	// constraint makes on average a half of the entire leaf node updated
+	// for every index-insert operation").
+	SortedLeaves bool
+
+	// Relation is the index relation id recorded in WAL records.
+	Relation uint32
+}
+
+func (c *Config) fill() float64 {
+	if c.FillFactor <= 0 || c.FillFactor > 1 {
+		return 0.7
+	}
+	return c.FillFactor
+}
+
+func (c *Config) pioMax() int {
+	if c.PioMax <= 0 {
+		return 64
+	}
+	return c.PioMax
+}
+
+// LeafEntryEstimate returns the expected entries per leaf at the default
+// fill factor, for sizing auxiliary structures (e.g. the LSMap budget).
+func (c Config) LeafEntryEstimate() int {
+	n := int(float64(leafCap(c.PageSize, c.LeafSegs)) * c.fill())
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// Tree is a PIO B-tree. Not safe for concurrent use; see Concurrent for
+// the multi-thread wrapper of Section 4.2.
+type Tree struct {
+	cfg   Config
+	pf    *pagefile.PageFile
+	pool  *bufferpool.Pool // internal nodes only (clean frames)
+	opq   *OPQ
+	lsmap *LSMap
+
+	root   pagefile.PageID
+	height int // levels including the leaf level; 1 = root is a leaf
+	count  int64
+
+	log     *wal.Log // optional
+	flushID uint64
+
+	stats           Stats
+	buf             []byte // page scratch
+	pendingInternal []pendingPage
+}
+
+// Stats counts PIO B-tree activity.
+type Stats struct {
+	Flushes      int64 // batch-update passes
+	Shrinks      int64
+	LeafSplits   int64
+	LeafAppends  int64
+	PsyncReads   int64 // psync read calls
+	PsyncWrites  int64
+	SearchOps    int64
+	UpdateOps    int64
+	RangeOps     int64
+	OPQShortcuts int64 // searches answered from the OPQ
+}
+
+// New creates an empty PIO B-tree on pf.
+func New(pf *pagefile.PageFile, cfg Config) (*Tree, error) {
+	if pf.PageSize() != cfg.PageSize {
+		return nil, fmt.Errorf("core: pagefile page size %d != config %d", pf.PageSize(), cfg.PageSize)
+	}
+	if cfg.LeafSegs < 1 || cfg.LeafSegs > 128 {
+		return nil, fmt.Errorf("core: LeafSegs must be in [1,128], got %d", cfg.LeafSegs)
+	}
+	if maxInternalKeys(cfg.PageSize) < 4 || segCap(cfg.PageSize) < 4 {
+		return nil, fmt.Errorf("core: page size %d too small", cfg.PageSize)
+	}
+	if cfg.OPQPages < 1 {
+		return nil, fmt.Errorf("core: OPQPages must be >= 1, got %d", cfg.OPQPages)
+	}
+	frames := cfg.BufferBytes / cfg.PageSize
+	if frames < 1 {
+		frames = 1
+	}
+	pool, err := bufferpool.New(pf, frames, bufferpool.WriteThrough)
+	if err != nil {
+		return nil, err
+	}
+	opqCap := cfg.OPQPages * cfg.PageSize / kv.EntrySize
+	opq, err := NewOPQ(opqCap, cfg.SPeriod)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		cfg:   cfg,
+		pf:    pf,
+		pool:  pool,
+		opq:   opq,
+		lsmap: NewLSMap(cfg.LeafSegs),
+		buf:   make([]byte, cfg.PageSize),
+	}
+	// Empty tree: one empty leaf as root.
+	leaf := &leafNode{id: t.allocLeaf(), segs: cfg.LeafSegs, next: pagefile.InvalidPage}
+	if err := t.writeLeafNoCost(leaf); err != nil {
+		return nil, err
+	}
+	t.root = leaf.id
+	t.height = 1
+	t.lsmap.Set(int64(leaf.id), 0)
+	return t, nil
+}
+
+// AttachWAL enables write-ahead logging (Section 3.4) on the tree.
+func (t *Tree) AttachWAL(l *wal.Log) { t.log = l }
+
+// Count returns the number of live records (OPQ included).
+func (t *Tree) Count() int64 { return t.count }
+
+// Height returns the number of levels (the paper's H).
+func (t *Tree) Height() int { return t.height }
+
+// Stats returns a snapshot of the tree counters.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// Pool exposes the internal-node buffer pool.
+func (t *Tree) Pool() *bufferpool.Pool { return t.pool }
+
+// OPQLen returns the number of queued update operations.
+func (t *Tree) OPQLen() int { return t.opq.Len() }
+
+// Fanout returns F, the max child pointers per internal node.
+func (t *Tree) Fanout() int { return maxInternalKeys(t.cfg.PageSize) + 1 }
+
+// LeafCapacity returns the entry capacity of one leaf.
+func (t *Tree) LeafCapacity() int { return leafCap(t.cfg.PageSize, t.cfg.LeafSegs) }
+
+// allocLeaf allocates LeafSegs consecutive pages and returns the first id.
+func (t *Tree) allocLeaf() pagefile.PageID { return t.pf.AllocRun(t.cfg.LeafSegs) }
+
+// writeLeafNoCost serializes a whole leaf without simulated cost.
+func (t *Tree) writeLeafNoCost(l *leafNode) error {
+	buf := make([]byte, l.segs*t.cfg.PageSize)
+	if err := l.encodeAll(buf, t.cfg.PageSize); err != nil {
+		return err
+	}
+	for s := 0; s < l.segs; s++ {
+		if err := t.pf.WritePageNoCost(l.id+pagefile.PageID(s), buf[s*t.cfg.PageSize:(s+1)*t.cfg.PageSize]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readInternal fetches an internal node through the buffer pool.
+func (t *Tree) readInternal(at vtime.Ticks, id pagefile.PageID) (*internalNode, vtime.Ticks, error) {
+	data, at, err := t.pool.Get(at, id)
+	if err != nil {
+		return nil, at, err
+	}
+	n, err := decodeInternal(id, data)
+	if err != nil {
+		return nil, at, err
+	}
+	return n, at + t.cfg.CPUPerNode, nil
+}
+
+// readLeafTimed reads segments [0, upto] of a leaf as one device request
+// and decodes them. The partial decode is safe because appends fill
+// segments in order and upto comes from the LSMap (or the full leaf size).
+//
+// Single-segment leaves (L=1, the paper's Section 4.2 configuration) are
+// exactly one page and flow through the buffer pool like internal nodes —
+// the pool simply holds whatever nodes fit, as the paper's "the rest of
+// main memory space was allocated to the buffer pool" implies. Multi-
+// segment leaves bypass the pool (their read cost is the Pr(L) term of
+// the cost model).
+func (t *Tree) readLeafTimed(at vtime.Ticks, id pagefile.PageID, upto int) (*leafNode, vtime.Ticks, error) {
+	if t.cfg.LeafSegs == 1 {
+		data, at, err := t.pool.Get(at, id)
+		if err != nil {
+			return nil, at, err
+		}
+		l, err := decodeLeaf(id, data, t.cfg.PageSize, 1)
+		return l, at + t.cfg.CPUPerNode, err
+	}
+	n := upto + 1
+	buf := make([]byte, n*t.cfg.PageSize)
+	at, err := t.pf.ReadRun(at, id, n, buf)
+	if err != nil {
+		return nil, at, err
+	}
+	l, err := t.decodePartialLeaf(id, buf, n)
+	return l, at + t.cfg.CPUPerNode, err
+}
+
+// decodePartialLeaf decodes a leaf from its first n segments, treating the
+// unread tail segments as empty.
+func (t *Tree) decodePartialLeaf(id pagefile.PageID, buf []byte, n int) (*leafNode, error) {
+	full := make([]byte, t.cfg.LeafSegs*t.cfg.PageSize)
+	copy(full, buf[:n*t.cfg.PageSize])
+	// Zero-fill the tail segments as valid empty segments.
+	for s := n; s < t.cfg.LeafSegs; s++ {
+		page := full[s*t.cfg.PageSize:]
+		page[0] = kindLeafSeg
+		page[1] = byte(s)
+	}
+	return decodeLeaf(id, full, t.cfg.PageSize, t.cfg.LeafSegs)
+}
+
+// readWholeLeafNoCost reads a full leaf without timing (setup/validation).
+func (t *Tree) readWholeLeafNoCost(id pagefile.PageID) (*leafNode, error) {
+	buf := make([]byte, t.cfg.LeafSegs*t.cfg.PageSize)
+	for s := 0; s < t.cfg.LeafSegs; s++ {
+		if err := t.pf.ReadPageNoCost(id+pagefile.PageID(s), buf[s*t.cfg.PageSize:(s+1)*t.cfg.PageSize]); err != nil {
+			return nil, err
+		}
+	}
+	return decodeLeaf(id, buf, t.cfg.PageSize, t.cfg.LeafSegs)
+}
+
+// lastLSOf returns the segment index to read from for leaf id: the LSMap
+// hit gives the exact last LS; a miss (or disabled map) falls back to the
+// paper's half-node bound.
+func (t *Tree) lastLSOf(id pagefile.PageID) (int, bool) {
+	if t.cfg.DisableLSMap {
+		return t.cfg.LeafSegs - 1, false
+	}
+	return t.lsmap.Get(int64(id))
+}
+
+// Search looks up key k. The OPQ is inspected first (Section 3.3: "the
+// search procedures inspect if there are update operations with the key
+// values they are looking for"), then the tree is descended, internal
+// nodes through the buffer pool and the leaf with one multi-page read.
+func (t *Tree) Search(at vtime.Ticks, k kv.Key) (kv.Value, bool, vtime.Ticks, error) {
+	t.stats.SearchOps++
+	if e, ok := t.opq.Lookup(k); ok {
+		t.stats.OPQShortcuts++
+		at += t.cfg.CPUPerNode
+		switch e.Op {
+		case kv.OpDelete:
+			return 0, false, at, nil
+		default:
+			return e.Rec.Value, true, at, nil
+		}
+	}
+	id := t.root
+	var err error
+	for lvl := t.height - 1; lvl > 0; lvl-- {
+		var n *internalNode
+		n, at, err = t.readInternal(at, id)
+		if err != nil {
+			return 0, false, at, err
+		}
+		id = n.children[n.childIndex(k)]
+	}
+	upto, _ := t.lastLSOf(id)
+	leaf, at, err := t.readLeafTimed(at, id, upto)
+	if err != nil {
+		return 0, false, at, err
+	}
+	e, ok := leaf.lookup(k)
+	if !ok || e.Op == kv.OpDelete {
+		return 0, false, at, nil
+	}
+	return e.Rec.Value, true, at, nil
+}
+
+// Insert buffers an index-insert in the OPQ; the operation completes
+// immediately unless the queue is full, in which case it pays for one
+// batch update (the paper's lengthened-latency compromise).
+func (t *Tree) Insert(at vtime.Ticks, r kv.Record) (vtime.Ticks, error) {
+	return t.enqueue(at, kv.Entry{Rec: r, Op: kv.OpInsert})
+}
+
+// Delete buffers an index-delete.
+func (t *Tree) Delete(at vtime.Ticks, k kv.Key) (vtime.Ticks, error) {
+	return t.enqueue(at, kv.Entry{Rec: kv.Record{Key: k}, Op: kv.OpDelete})
+}
+
+// Update buffers an index-update (replacing the data pointer of a key).
+func (t *Tree) Update(at vtime.Ticks, r kv.Record) (vtime.Ticks, error) {
+	return t.enqueue(at, kv.Entry{Rec: r, Op: kv.OpUpdate})
+}
+
+func (t *Tree) enqueue(at vtime.Ticks, e kv.Entry) (vtime.Ticks, error) {
+	t.stats.UpdateOps++
+	var err error
+	if t.opq.Full() {
+		at, err = t.FlushBatch(at, t.cfg.BCnt)
+		if err != nil {
+			return at, err
+		}
+	}
+	if t.log != nil {
+		t.log.Append(wal.Record{
+			Kind:     wal.KindLogicalRedo,
+			Relation: t.cfg.Relation,
+			Op:       wal.OpType(e.Op),
+			Key:      e.Rec.Key,
+			Value:    e.Rec.Value,
+		})
+	}
+	if err := t.opq.Append(e); err != nil {
+		return at, err
+	}
+	switch e.Op {
+	case kv.OpInsert:
+		t.count++
+	case kv.OpDelete:
+		t.count--
+	}
+	// The OPQ append cost is one main-memory page access.
+	return at + t.cfg.CPUPerNode, nil
+}
+
+// Checkpoint flushes the whole OPQ and logs a checkpoint record
+// (Section 3.4: "PIO B-tree also flushes all the OPQ entries ... when the
+// DBMS system needs to checkpoint").
+func (t *Tree) Checkpoint(at vtime.Ticks) (vtime.Ticks, error) {
+	var err error
+	for t.opq.Len() > 0 {
+		at, err = t.FlushBatch(at, 0)
+		if err != nil {
+			return at, err
+		}
+	}
+	if t.log != nil {
+		t.log.Append(wal.Record{Kind: wal.KindCheckpoint, Relation: t.cfg.Relation})
+		at, err = t.log.Force(at)
+	}
+	return at, err
+}
+
+// BulkLoad builds the tree from key-sorted records at the configured fill
+// factor without simulated cost (experiment setup).
+func (t *Tree) BulkLoad(recs []kv.Record) error {
+	if t.count != 0 || t.opq.Len() != 0 {
+		return fmt.Errorf("core: bulk load into non-empty tree")
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].Key >= recs[i].Key {
+			return fmt.Errorf("core: bulk load input not strictly sorted at %d", i)
+		}
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	perLeaf := int(float64(t.LeafCapacity()) * t.cfg.fill())
+	if perLeaf < 1 {
+		perLeaf = 1
+	}
+	type built struct {
+		id    pagefile.PageID
+		first kv.Key
+	}
+	var level []built
+	var prev *leafNode
+	for i := 0; i < len(recs); i += perLeaf {
+		end := i + perLeaf
+		if end > len(recs) {
+			end = len(recs)
+		}
+		l := &leafNode{id: t.allocLeaf(), segs: t.cfg.LeafSegs, next: pagefile.InvalidPage}
+		for _, r := range recs[i:end] {
+			l.entries = append(l.entries, kv.Entry{Rec: r, Op: kv.OpInsert})
+		}
+		l.sorted = len(l.entries)
+		if prev != nil {
+			prev.next = l.id
+			if err := t.writeLeafNoCost(prev); err != nil {
+				return err
+			}
+		}
+		t.lsmap.Set(int64(l.id), l.lastSeg(t.cfg.PageSize))
+		level = append(level, built{id: l.id, first: l.entries[0].Rec.Key})
+		prev = l
+	}
+	if err := t.writeLeafNoCost(prev); err != nil {
+		return err
+	}
+
+	keyCap := int(float64(maxInternalKeys(t.cfg.PageSize)) * t.cfg.fill())
+	if keyCap < 2 {
+		keyCap = 2
+	}
+	height := 1
+	for len(level) > 1 {
+		var next []built
+		childCap := keyCap + 1
+		for i := 0; i < len(level); {
+			end := i + childCap
+			if end >= len(level)-1 {
+				end = len(level)
+			}
+			group := level[i:end]
+			n := &internalNode{id: t.pf.Alloc(), level: height}
+			for j, b := range group {
+				n.children = append(n.children, b.id)
+				if j > 0 {
+					n.keys = append(n.keys, b.first)
+				}
+			}
+			if err := n.encode(t.buf); err != nil {
+				return err
+			}
+			if err := t.pf.WritePageNoCost(n.id, t.buf); err != nil {
+				return err
+			}
+			next = append(next, built{id: n.id, first: group[0].first})
+			i = end
+		}
+		level = next
+		height++
+	}
+	t.root = level[0].id
+	t.height = height
+	t.count = int64(len(recs))
+	return nil
+}
+
+// CheckInvariants walks the whole tree without timing and verifies
+// structural invariants: internal keys sorted, children in range, leaf
+// base regions sorted, leaf chain ordered, live count consistent with the
+// tracked count.
+func (t *Tree) CheckInvariants() error {
+	var liveTotal int64
+	var walk func(id pagefile.PageID, level int, lo, hi kv.Key, hasLo, hasHi bool) error
+	walk = func(id pagefile.PageID, level int, lo, hi kv.Key, hasLo, hasHi bool) error {
+		if level == 0 {
+			l, err := t.readWholeLeafNoCost(id)
+			if err != nil {
+				return err
+			}
+			for i := 1; i < l.sorted; i++ {
+				if l.entries[i-1].Rec.Key > l.entries[i].Rec.Key {
+					return fmt.Errorf("core: leaf %d base region unsorted at %d", id, i)
+				}
+			}
+			for _, r := range l.liveRecords() {
+				if hasLo && r.Key < lo {
+					return fmt.Errorf("core: leaf %d key %d below bound %d", id, r.Key, lo)
+				}
+				if hasHi && r.Key >= hi {
+					return fmt.Errorf("core: leaf %d key %d above bound %d", id, r.Key, hi)
+				}
+				liveTotal++
+			}
+			return nil
+		}
+		buf := make([]byte, t.cfg.PageSize)
+		if err := t.pf.ReadPageNoCost(id, buf); err != nil {
+			return err
+		}
+		n, err := decodeInternal(id, buf)
+		if err != nil {
+			return err
+		}
+		if n.level != level {
+			return fmt.Errorf("core: node %d level %d, want %d", id, n.level, level)
+		}
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i-1] >= n.keys[i] {
+				return fmt.Errorf("core: internal %d unsorted at %d", id, i)
+			}
+		}
+		for i, c := range n.children {
+			clo, chi := lo, hi
+			cHasLo, cHasHi := hasLo, hasHi
+			if i > 0 {
+				clo, cHasLo = n.keys[i-1], true
+			}
+			if i < len(n.keys) {
+				chi, cHasHi = n.keys[i], true
+			}
+			if err := walk(c, level-1, clo, chi, cHasLo, cHasHi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, t.height-1, 0, 0, false, false); err != nil {
+		return err
+	}
+	// Overlay the OPQ to compute the logical count.
+	logical := liveTotal
+	for _, e := range t.opq.Entries() {
+		switch e.Op {
+		case kv.OpInsert:
+			logical++
+		case kv.OpDelete:
+			logical--
+		}
+	}
+	if logical != t.count {
+		return fmt.Errorf("core: count mismatch: logical %d, tracked %d", logical, t.count)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package costmodel
+
+import (
+	"repro/internal/flashsim"
+	"repro/internal/vtime"
+)
+
+// Calibrate runs the micro-benchmark of Section 3.6 against a device:
+// when a PIO B-tree is first built it measures Pr, Pw, Pr(L), P'r and P'w
+// and tunes itself from those. The probe issues `samples` random requests
+// per point on a scratch region of the device and averages the latencies.
+//
+// pageSize is the index page size in bytes; maxPages bounds the Pr(L)
+// curve; pioMax is the batch size used to measure the psync-amortized
+// per-page costs.
+func Calibrate(dev *flashsim.Device, pageSize, maxPages, pioMax, samples int) *DeviceParams {
+	if samples < 1 {
+		samples = 8
+	}
+	if maxPages < 1 {
+		maxPages = 1
+	}
+	d := &DeviceParams{
+		PrTicks: make([]vtime.Ticks, maxPages+1),
+		PwTicks: make([]vtime.Ticks, maxPages+1),
+	}
+	const regionPages = 1 << 16
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func() int64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int64(rng % regionPages)
+	}
+	var now vtime.Ticks
+	for l := 1; l <= maxPages; l++ {
+		var rsum, wsum vtime.Ticks
+		for s := 0; s < samples; s++ {
+			off := next() * int64(pageSize)
+			res := dev.SubmitOne(now, flashsim.Request{Op: flashsim.Read, Offset: off, Size: l * pageSize})
+			rsum += res.Latency()
+			now = res.Done
+			res = dev.SubmitOne(now, flashsim.Request{Op: flashsim.Write, Offset: off, Size: l * pageSize})
+			wsum += res.Latency()
+			now = res.Done
+		}
+		d.PrTicks[l] = rsum / vtime.Ticks(samples)
+		d.PwTicks[l] = wsum / vtime.Ticks(samples)
+	}
+	// Amortized psync costs: submit pioMax single-page requests at once
+	// and divide the batch completion time by the batch size.
+	if pioMax < 1 {
+		pioMax = 64
+	}
+	var rTot, wTot vtime.Ticks
+	for s := 0; s < samples; s++ {
+		reqs := make([]flashsim.Request, pioMax)
+		for i := range reqs {
+			reqs[i] = flashsim.Request{Op: flashsim.Read, Offset: next() * int64(pageSize), Size: pageSize}
+		}
+		_, done := dev.Submit(now, reqs)
+		rTot += (done - now) / vtime.Ticks(pioMax)
+		now = done
+		for i := range reqs {
+			reqs[i].Op = flashsim.Write
+		}
+		_, done = dev.Submit(now, reqs)
+		wTot += (done - now) / vtime.Ticks(pioMax)
+		now = done
+	}
+	d.PrPsync = rTot / vtime.Ticks(samples)
+	d.PwPsync = wTot / vtime.Ticks(samples)
+	return d
+}

@@ -1,0 +1,247 @@
+// Package costmodel implements the analytical cost models of the paper's
+// Sections 3.2, 3.5 and the Appendix: the utility/cost node-size measure
+// (eq. 3), the B+-tree average operation cost without (eq. 5) and with
+// (eq. 6/11) a buffer pool, the PIO B-tree costs (eqs. 7-9), G(ℓ) (eq. 8),
+// and the arg-min tuners for node size (S_opt), leaf size and OPQ size
+// (L_opt, O_opt, eq. 10).
+//
+// Notation follows the paper's Table 1: H tree height, F max pointers per
+// internal node, N inserted entries, U node utilization, F' = (F-1)·U
+// effective fanout, Pr/Pw random page read/write latency, L leaf size in
+// pages, Ri/Rs insert/search ratios, M buffer pool pages, O OPQ pages,
+// P'r/P'w amortized per-page psync latencies.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vtime"
+)
+
+// DeviceParams are the measured device characteristics the models consume.
+// They come from the micro-benchmark the PIO B-tree runs when first built
+// (Section 3.6) — see Calibrate in this package.
+type DeviceParams struct {
+	// PrTicks[s] is the random-read latency of an I/O of s pages
+	// (s >= 1); PwTicks likewise for writes. Index 0 is unused.
+	PrTicks []vtime.Ticks
+	PwTicks []vtime.Ticks
+	// PrPsync / PwPsync are P'r and P'w: amortized per-page response times
+	// when PioMax pages are moved per psync call.
+	PrPsync vtime.Ticks
+	PwPsync vtime.Ticks
+}
+
+// Pr returns the read latency for a node of l pages.
+func (d *DeviceParams) Pr(l int) vtime.Ticks {
+	if l < 1 {
+		l = 1
+	}
+	if l >= len(d.PrTicks) {
+		// Extrapolate linearly from the largest measured size.
+		last := len(d.PrTicks) - 1
+		return d.PrTicks[last] + vtime.Ticks(l-last)*(d.PrTicks[last]-d.PrTicks[last-1])
+	}
+	return d.PrTicks[l]
+}
+
+// Pw returns the write latency for a node of l pages.
+func (d *DeviceParams) Pw(l int) vtime.Ticks {
+	if l < 1 {
+		l = 1
+	}
+	if l >= len(d.PwTicks) {
+		last := len(d.PwTicks) - 1
+		return d.PwTicks[last] + vtime.Ticks(l-last)*(d.PwTicks[last]-d.PwTicks[last-1])
+	}
+	return d.PwTicks[l]
+}
+
+// TreeParams describe the index and workload.
+type TreeParams struct {
+	N  float64 // entries
+	F  float64 // max pointers per internal node
+	U  float64 // utilization (paper uses ~0.7 after bulk load)
+	Ri float64 // insert ratio
+	Rs float64 // search ratio
+	M  float64 // buffer pool pages
+	O  float64 // OPQ pages
+	L  float64 // leaf pages
+	// OPQEntriesPerPage converts O pages into OPQ entry capacity.
+	OPQEntriesPerPage float64
+}
+
+// Fprime returns F' = (F-1)·U.
+func (p TreeParams) Fprime() float64 { return (p.F - 1) * p.U }
+
+// Height returns H = log2 N / log2 F' (eq. 4).
+func Height(n, fprime float64) float64 {
+	if n < 2 || fprime < 2 {
+		return 1
+	}
+	return math.Log2(n) / math.Log2(fprime)
+}
+
+// UtilityCost is Graefe's utility/cost measure (eq. 3):
+// log2(entriesPerPage) / accessCost. Larger is better.
+func UtilityCost(entriesPerNode float64, accessCost vtime.Ticks) float64 {
+	if entriesPerNode < 2 || accessCost <= 0 {
+		return 0
+	}
+	return math.Log2(entriesPerNode) / float64(accessCost)
+}
+
+// CBtree is eq. (5): the average B+-tree operation cost without a buffer
+// pool: (log2 N / log2 F')·Pr + Ri·Pw.
+func CBtree(p TreeParams, pr, pw vtime.Ticks) float64 {
+	h := Height(p.N, p.Fprime())
+	return h*float64(pr) + p.Ri*float64(pw)
+}
+
+// Eta returns η = log_F'(N/M) - 1 (eq. 6), the non-buffered depth measure.
+func Eta(n, m, fprime float64) float64 {
+	if m <= 0 || fprime < 2 {
+		return Height(n, fprime)
+	}
+	e := math.Log(n/m)/math.Log(fprime) - 1
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// CBtreeBuffered is eq. (6)/(11): with the buffer manager caching the top
+// levels, ( ⌊η⌋ + (1 - 1/F'^(η%1)) )·Pr + Ri·Pw.
+func CBtreeBuffered(p TreeParams, pr, pw vtime.Ticks) float64 {
+	fp := p.Fprime()
+	eta := Eta(p.N, p.M, fp)
+	frac := eta - math.Floor(eta)
+	nonBuffered := math.Floor(eta) + (1 - 1/math.Pow(fp, frac))
+	return nonBuffered*float64(pr) + p.Ri*float64(pw)
+}
+
+// G is eq. (8): the average number of buffered update operations touching
+// the same node at level ℓ (root = level H-1 here expressed by its depth
+// argument): G(ℓ) = (O·F'/U) / (N / (F'^(H-ℓ)·L)), clamped to [1, bcnt].
+func G(p TreeParams, level float64, bcnt float64) float64 {
+	fp := p.Fprime()
+	h := Height(p.N, fp)
+	opqEntries := p.O * p.OPQEntriesPerPage
+	nodesAtLevel := p.N / (math.Pow(fp, h-level) * math.Max(p.L, 1))
+	if nodesAtLevel < 1 {
+		nodesAtLevel = 1
+	}
+	g := opqEntries / nodesAtLevel
+	if g < 1 {
+		g = 1
+	}
+	if bcnt > 0 && g > bcnt {
+		g = bcnt
+	}
+	return g
+}
+
+// CPio is eq. (7): the PIO B-tree average operation cost without a buffer
+// pool. Search = (H-1)·Pr + Pr(L); Insert amortizes node reads by G(ℓ)
+// and uses psync-amortized costs for the leaf level.
+func CPio(p TreeParams, d *DeviceParams, bcnt float64) float64 {
+	h := Height(p.N, p.Fprime())
+	search := (h-1)*float64(d.Pr(1)) + float64(d.Pr(int(p.L)))
+	var insert float64
+	for l := 0.0; l <= h-2; l++ {
+		insert += (1 / G(p, l, bcnt)) * float64(d.PrPsync)
+	}
+	insert += float64(d.PrPsync+d.PwPsync) / G(p, h-1, bcnt)
+	return p.Rs*search + p.Ri*insert
+}
+
+// CPioBuffered is eq. (9): CPio with the buffer pool caching top levels;
+// the OPQ's pages are deducted from the pool (M-O), and the leaf size
+// divides the node population (η uses N/(L·(M-O))).
+func CPioBuffered(p TreeParams, d *DeviceParams, bcnt float64) float64 {
+	fp := p.Fprime()
+	mEff := p.M - p.O
+	if mEff < 1 {
+		mEff = 1
+	}
+	eta := 0.0
+	if arg := p.N / (math.Max(p.L, 1) * mEff); arg > 1 && fp >= 2 {
+		eta = math.Log(arg)/math.Log(fp) - 1
+		if eta < 0 {
+			eta = 0
+		}
+	}
+	frac := eta - math.Floor(eta)
+	search := (math.Floor(eta)+(1-1/math.Pow(fp, frac)))*float64(d.Pr(1)) + float64(d.Pr(int(p.L)))
+
+	h := Height(p.N, fp)
+	var insert float64
+	for l := math.Floor(eta); l <= h-2; l++ {
+		insert += (1 / G(p, l, bcnt)) * float64(d.PrPsync)
+	}
+	// Partially buffered level correction (eq. 15 of the Appendix).
+	if lvl := math.Log(mEff)/math.Log(fp) - 1; lvl > 0 {
+		corr := (1 / math.Pow(fp, frac)) / G(p, lvl, bcnt)
+		insert -= corr * float64(d.PrPsync)
+		if insert < 0 {
+			insert = 0
+		}
+	}
+	insert += float64(d.PrPsync+d.PwPsync) / G(p, h-1, bcnt)
+	return p.Rs*search + p.Ri*insert
+}
+
+// TuneResult is the outcome of the eq. (10) arg-min search.
+type TuneResult struct {
+	L    int     // optimal leaf pages (L_opt)
+	O    int     // optimal OPQ pages (O_opt)
+	Cost float64 // modelled average operation cost (ticks)
+}
+
+// TuneLeafOPQ evaluates C'_pio over the candidate grid and returns
+// (L_opt, O_opt) := argmin C'_pio (eq. 10). maxL and maxO bound the sweep;
+// p.L and p.O are ignored.
+func TuneLeafOPQ(p TreeParams, d *DeviceParams, bcnt float64, maxL, maxO int) (TuneResult, error) {
+	if maxL < 1 || maxO < 1 {
+		return TuneResult{}, fmt.Errorf("costmodel: invalid sweep bounds L<=%d O<=%d", maxL, maxO)
+	}
+	best := TuneResult{Cost: math.Inf(1)}
+	for l := 1; l <= maxL; l *= 2 {
+		for o := 1; o <= maxO; o *= 2 {
+			q := p
+			q.L = float64(l)
+			q.O = float64(o)
+			c := CPioBuffered(q, d, bcnt)
+			if c < best.Cost {
+				best = TuneResult{L: l, O: o, Cost: c}
+			}
+		}
+	}
+	return best, nil
+}
+
+// TuneNodeSize picks the B+-tree node size (in pages) minimizing the
+// buffered cost (the utility/cost method extended to SSDs, Section 3.2.1):
+// the candidate sizes are 1..maxPages (powers of two); entriesPerPage
+// converts pages to F.
+func TuneNodeSize(p TreeParams, d *DeviceParams, entriesPerPage float64, maxPages int) (int, error) {
+	if maxPages < 1 {
+		return 0, fmt.Errorf("costmodel: maxPages must be >= 1")
+	}
+	best, bestCost := 1, math.Inf(1)
+	for s := 1; s <= maxPages; s *= 2 {
+		q := p
+		q.F = entriesPerPage * float64(s)
+		// The pool holds M/s frames of s-page nodes.
+		q.M = p.M / float64(s)
+		if q.M < 1 {
+			q.M = 1
+		}
+		cost := CBtreeBuffered(q, d.Pr(s), d.Pw(s))
+		if cost < bestCost {
+			best, bestCost = s, cost
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,178 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/flashsim"
+	"repro/internal/vtime"
+)
+
+func testParams() *DeviceParams {
+	return Calibrate(flashsim.MustDevice(flashsim.P300()), 2048, 16, 64, 8)
+}
+
+func TestCalibrateMonotoneAndPositive(t *testing.T) {
+	d := testParams()
+	for l := 1; l <= 16; l++ {
+		if d.Pr(l) <= 0 || d.Pw(l) <= 0 {
+			t.Fatalf("non-positive latency at %d pages", l)
+		}
+		if l > 1 {
+			if d.Pr(l) < d.Pr(l-1) {
+				t.Fatalf("Pr not monotone at %d: %v < %v", l, d.Pr(l), d.Pr(l-1))
+			}
+			if d.Pw(l) < d.Pw(l-1) {
+				t.Fatalf("Pw not monotone at %d", l)
+			}
+		}
+	}
+	// Package-level parallelism: doubling size must be sublinear.
+	if d.Pr(2) >= 2*d.Pr(1) {
+		t.Fatalf("Pr(2)=%v not sublinear vs Pr(1)=%v", d.Pr(2), d.Pr(1))
+	}
+	// Channel-level parallelism: amortized psync cost far below sync cost.
+	if float64(d.PrPsync) > 0.5*float64(d.Pr(1)) {
+		t.Fatalf("psync read amortization too weak: %v vs %v", d.PrPsync, d.Pr(1))
+	}
+	if float64(d.PwPsync) > 0.5*float64(d.Pw(1)) {
+		t.Fatalf("psync write amortization too weak: %v vs %v", d.PwPsync, d.Pw(1))
+	}
+}
+
+func TestPrExtrapolation(t *testing.T) {
+	d := testParams()
+	// Beyond the measured range extrapolation must keep growing.
+	if d.Pr(32) <= d.Pr(16) {
+		t.Fatal("extrapolated Pr not increasing")
+	}
+	if d.Pw(32) <= d.Pw(16) {
+		t.Fatal("extrapolated Pw not increasing")
+	}
+	if d.Pr(0) != d.Pr(1) {
+		t.Fatal("Pr(0) should clamp to Pr(1)")
+	}
+}
+
+func TestHeight(t *testing.T) {
+	if h := Height(1e9, 100); math.Abs(h-4.49) > 0.1 {
+		t.Fatalf("Height(1e9,100) = %f", h)
+	}
+	if Height(1, 100) != 1 || Height(100, 1) != 1 {
+		t.Fatal("degenerate heights wrong")
+	}
+}
+
+func TestUtilityCost(t *testing.T) {
+	if UtilityCost(128, 100) <= UtilityCost(128, 200) {
+		t.Fatal("higher cost must lower utility")
+	}
+	if UtilityCost(256, 100) <= UtilityCost(128, 100) {
+		t.Fatal("more entries must raise utility")
+	}
+	if UtilityCost(1, 100) != 0 || UtilityCost(128, 0) != 0 {
+		t.Fatal("degenerate utility wrong")
+	}
+}
+
+func TestCBtreeBufferedBelowUnbuffered(t *testing.T) {
+	p := TreeParams{N: 1e6, F: 128, U: 0.7, Ri: 0.5, Rs: 0.5, M: 1024}
+	pr, pw := vtime.Ticks(100*vtime.Microsecond), vtime.Ticks(300*vtime.Microsecond)
+	if CBtreeBuffered(p, pr, pw) >= CBtree(p, pr, pw) {
+		t.Fatal("buffering did not reduce modelled cost")
+	}
+	// More memory, lower cost.
+	p2 := p
+	p2.M = 16 * 1024
+	if CBtreeBuffered(p2, pr, pw) >= CBtreeBuffered(p, pr, pw) {
+		t.Fatal("more memory did not reduce cost")
+	}
+}
+
+func TestEta(t *testing.T) {
+	if Eta(1e6, 1e6, 100) != 0 {
+		t.Fatal("eta should clamp at 0 when everything fits")
+	}
+	if Eta(1e9, 1e3, 100) <= Eta(1e9, 1e6, 100) {
+		t.Fatal("less memory must raise eta")
+	}
+}
+
+func TestGClamps(t *testing.T) {
+	p := TreeParams{N: 1e6, F: 128, U: 0.7, O: 1, L: 1, OPQEntriesPerPage: 120}
+	// Leaf level (deepest): many nodes -> G near 1.
+	gLeaf := G(p, Height(p.N, p.Fprime())-1, 5000)
+	if gLeaf < 1 {
+		t.Fatalf("G < 1: %f", gLeaf)
+	}
+	// Root level: one node -> G = all OPQ entries, clamped by bcnt.
+	gRoot := G(p, 0, 50)
+	if gRoot > 50 {
+		t.Fatalf("G not clamped by bcnt: %f", gRoot)
+	}
+	if gRoot <= gLeaf {
+		t.Fatal("G must grow towards the root")
+	}
+}
+
+func TestCPioInsertCheaperThanBtree(t *testing.T) {
+	d := testParams()
+	p := TreeParams{
+		N: 1e6, F: 120, U: 0.7, Ri: 1, Rs: 0,
+		M: 64, O: 4, L: 4, OPQEntriesPerPage: 120,
+	}
+	pio := CPio(p, d, 5000)
+	bt := CBtree(p, d.Pr(1), d.Pw(1))
+	if pio >= bt {
+		t.Fatalf("modelled PIO insert %f not below B+-tree %f", pio, bt)
+	}
+	// And the buffered variants.
+	pioB := CPioBuffered(p, d, 5000)
+	btB := CBtreeBuffered(p, d.Pr(1), d.Pw(1))
+	if pioB >= btB {
+		t.Fatalf("modelled buffered PIO insert %f not below B+-tree %f", pioB, btB)
+	}
+}
+
+func TestTuneLeafOPQ(t *testing.T) {
+	d := testParams()
+	base := TreeParams{N: 1e6, F: 120, U: 0.7, M: 64, OPQEntriesPerPage: 120}
+
+	search := base
+	search.Rs, search.Ri = 1, 0
+	resS, err := TuneLeafOPQ(search, d, 5000, 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insert := base
+	insert.Rs, insert.Ri = 0, 1
+	resI, err := TuneLeafOPQ(insert, d, 5000, 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert-heavy workloads must not get a smaller OPQ than search-only.
+	if resI.O < resS.O {
+		t.Fatalf("insert-heavy O=%d < search-only O=%d", resI.O, resS.O)
+	}
+	if resS.Cost <= 0 || resI.Cost <= 0 {
+		t.Fatal("non-positive modelled cost")
+	}
+	if _, err := TuneLeafOPQ(base, d, 5000, 0, 0); err == nil {
+		t.Fatal("invalid bounds accepted")
+	}
+}
+
+func TestTuneNodeSize(t *testing.T) {
+	d := testParams()
+	p := TreeParams{N: 1e6, U: 0.7, Ri: 0.5, Rs: 0.5, M: 64, OPQEntriesPerPage: 120}
+	pages, err := TuneNodeSize(p, d, 128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pages < 1 || pages > 8 {
+		t.Fatalf("tuned node pages %d out of range", pages)
+	}
+	if _, err := TuneNodeSize(p, d, 128, 0); err == nil {
+		t.Fatal("invalid maxPages accepted")
+	}
+}

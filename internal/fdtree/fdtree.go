@@ -1,0 +1,519 @@
+// Package fdtree implements the FD-tree baseline (Li, He, Yang, Luo, Yi,
+// "Tree indexing on solid state drives", PVLDB 2010), the flashSSD-aware
+// index the paper compares against in Section 4.1.4.
+//
+// An FD-tree is a logarithmic method: a small in-memory head tree L0
+// absorbs updates; disk levels L1..Lk are sorted runs, each SizeRatio
+// times larger than the previous; a full level merges into the next with
+// large sequential I/O (friendly to package-level parallelism). Deletes
+// insert filter entries (tombstones) that annihilate matching records
+// during merges. Point searches probe one page per level (fences/fractional
+// cascading modelled by an in-memory sparse page index per run, whose
+// memory footprint is part of the index's RAM budget as in the original
+// design). The paper's characterization: insert performance close to PIO
+// B-tree, point search worse than B+-tree because the effective height is
+// larger ("the FD-tree index height is usually higher than B+-tree
+// height").
+package fdtree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kv"
+	"repro/internal/pagefile"
+	"repro/internal/vtime"
+)
+
+// Config parameterizes an FD-tree.
+type Config struct {
+	// PageSize is the run page size in bytes.
+	PageSize int
+	// HeadPages is the head tree (L0) budget in pages.
+	HeadPages int
+	// SizeRatio is k, the capacity ratio between adjacent levels
+	// (default 8 when zero).
+	SizeRatio int
+	// MergeChunkPages is the sequential I/O unit during merges
+	// (default 64 pages when zero).
+	MergeChunkPages int
+	// CPUPerNode is CPU time charged per probed page.
+	CPUPerNode vtime.Ticks
+}
+
+func (c *Config) ratio() int {
+	if c.SizeRatio <= 0 {
+		return 8
+	}
+	return c.SizeRatio
+}
+
+func (c *Config) chunk() int {
+	if c.MergeChunkPages <= 0 {
+		return 64
+	}
+	return c.MergeChunkPages
+}
+
+// entry is a run entry: a record plus the tombstone flag.
+type entry struct {
+	rec  kv.Record
+	dead bool // filter entry (delete)
+}
+
+// entrySize is the on-disk entry footprint.
+const entrySize = kv.RecordSize + 1
+
+// level is one sorted disk run.
+type level struct {
+	first  pagefile.PageID
+	pages  int
+	count  int
+	fences []kv.Key // first key of each page (sparse index)
+}
+
+// Tree is an FD-tree over a pagefile.
+type Tree struct {
+	cfg    Config
+	pf     *pagefile.PageFile
+	head   []entry // L0, key-sorted, newest wins on duplicates via replace
+	levels []*level
+	count  int64
+	stats  Stats
+}
+
+// Stats counts FD-tree activity.
+type Stats struct {
+	Merges     int64
+	MergedIn   int64 // entries moved during merges
+	LevelReads int64 // point-search page probes
+}
+
+// New creates an empty FD-tree.
+func New(pf *pagefile.PageFile, cfg Config) (*Tree, error) {
+	if cfg.HeadPages < 1 {
+		return nil, fmt.Errorf("fdtree: HeadPages must be >= 1, got %d", cfg.HeadPages)
+	}
+	if cfg.PageSize/entrySize < 4 {
+		return nil, fmt.Errorf("fdtree: page size %d too small", cfg.PageSize)
+	}
+	return &Tree{cfg: cfg, pf: pf}, nil
+}
+
+// entriesPerPage returns run entries per page.
+func (t *Tree) entriesPerPage() int { return t.cfg.PageSize / entrySize }
+
+// headCap returns L0's entry capacity.
+func (t *Tree) headCap() int { return t.cfg.HeadPages * t.entriesPerPage() }
+
+// levelCap returns level i's entry capacity (1-based disk levels).
+func (t *Tree) levelCap(i int) int {
+	c := t.headCap()
+	for j := 0; j < i; j++ {
+		c *= t.cfg.ratio()
+	}
+	return c
+}
+
+// Count returns the number of live records.
+func (t *Tree) Count() int64 { return t.count }
+
+// Levels returns the number of disk levels (the search height beyond L0).
+func (t *Tree) Levels() int { return len(t.levels) }
+
+// Stats returns a snapshot of the counters.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// headInsert places e into the sorted head, replacing an existing entry
+// with the same key (newest wins within L0).
+func (t *Tree) headInsert(e entry) {
+	i := sort.Search(len(t.head), func(i int) bool { return t.head[i].rec.Key >= e.rec.Key })
+	if i < len(t.head) && t.head[i].rec.Key == e.rec.Key {
+		t.head[i] = e
+		return
+	}
+	t.head = append(t.head, entry{})
+	copy(t.head[i+1:], t.head[i:])
+	t.head[i] = e
+}
+
+// Insert adds record r.
+func (t *Tree) Insert(at vtime.Ticks, r kv.Record) (vtime.Ticks, error) {
+	// Inserting over an existing key is an update; liveness bookkeeping
+	// happens lazily at merge time, so count tracks net inserts.
+	t.headInsert(entry{rec: r})
+	t.count++
+	if len(t.head) >= t.headCap() {
+		return t.mergeDown(at)
+	}
+	return at + t.cfg.CPUPerNode, nil
+}
+
+// Delete inserts a filter entry for key k.
+func (t *Tree) Delete(at vtime.Ticks, k kv.Key) (vtime.Ticks, error) {
+	t.headInsert(entry{rec: kv.Record{Key: k}, dead: true})
+	t.count--
+	if len(t.head) >= t.headCap() {
+		return t.mergeDown(at)
+	}
+	return at + t.cfg.CPUPerNode, nil
+}
+
+// Update replaces the pointer of key k.
+func (t *Tree) Update(at vtime.Ticks, r kv.Record) (vtime.Ticks, error) {
+	t.headInsert(entry{rec: r})
+	if len(t.head) >= t.headCap() {
+		return t.mergeDown(at)
+	}
+	return at + t.cfg.CPUPerNode, nil
+}
+
+// Search looks up key k: L0 first, then one fence-guided page probe per
+// disk level, newest level wins.
+func (t *Tree) Search(at vtime.Ticks, k kv.Key) (kv.Value, bool, vtime.Ticks, error) {
+	i := sort.Search(len(t.head), func(i int) bool { return t.head[i].rec.Key >= k })
+	if i < len(t.head) && t.head[i].rec.Key == k {
+		e := t.head[i]
+		at += t.cfg.CPUPerNode
+		return e.rec.Value, !e.dead, at, nil
+	}
+	buf := make([]byte, t.cfg.PageSize)
+	for _, lv := range t.levels {
+		if lv.count == 0 {
+			continue
+		}
+		p := sort.Search(len(lv.fences), func(i int) bool { return lv.fences[i] > k })
+		if p == 0 {
+			continue // k below the run's first key
+		}
+		p--
+		var err error
+		at, err = t.pf.ReadPage(at, lv.first+pagefile.PageID(p), buf)
+		if err != nil {
+			return 0, false, at, err
+		}
+		t.stats.LevelReads++
+		at += t.cfg.CPUPerNode
+		es := decodePage(buf, t.pageCount(lv, p))
+		j := sort.Search(len(es), func(i int) bool { return es[i].rec.Key >= k })
+		if j < len(es) && es[j].rec.Key == k {
+			return es[j].rec.Value, !es[j].dead, at, nil
+		}
+	}
+	return 0, false, at, nil
+}
+
+// pageCount returns the number of entries on page p of a run.
+func (t *Tree) pageCount(lv *level, p int) int {
+	epp := t.entriesPerPage()
+	if (p+1)*epp <= lv.count {
+		return epp
+	}
+	return lv.count - p*epp
+}
+
+// RangeSearch returns live records with lo <= key < hi: the head overlay
+// plus, per level, one sequential run read covering the key range.
+func (t *Tree) RangeSearch(at vtime.Ticks, lo, hi kv.Key) ([]kv.Record, vtime.Ticks, error) {
+	if hi <= lo {
+		return nil, at, nil
+	}
+	// Collect per-source sorted entry streams, newest source first.
+	var streams [][]entry
+	var headPart []entry
+	i := sort.Search(len(t.head), func(i int) bool { return t.head[i].rec.Key >= lo })
+	for ; i < len(t.head) && t.head[i].rec.Key < hi; i++ {
+		headPart = append(headPart, t.head[i])
+	}
+	streams = append(streams, headPart)
+	for _, lv := range t.levels {
+		if lv.count == 0 {
+			streams = append(streams, nil)
+			continue
+		}
+		p0 := sort.Search(len(lv.fences), func(i int) bool { return lv.fences[i] > lo })
+		if p0 > 0 {
+			p0--
+		}
+		p1 := sort.Search(len(lv.fences), func(i int) bool { return lv.fences[i] >= hi })
+		if p1 >= lv.pages {
+			p1 = lv.pages - 1
+		}
+		n := p1 - p0 + 1
+		buf := make([]byte, n*t.cfg.PageSize)
+		var err error
+		at, err = t.pf.ReadRun(at, lv.first+pagefile.PageID(p0), n, buf)
+		if err != nil {
+			return nil, at, err
+		}
+		var part []entry
+		for p := p0; p <= p1; p++ {
+			es := decodePage(buf[(p-p0)*t.cfg.PageSize:(p-p0+1)*t.cfg.PageSize], t.pageCount(lv, p))
+			for _, e := range es {
+				if e.rec.Key >= lo && e.rec.Key < hi {
+					part = append(part, e)
+				}
+			}
+		}
+		streams = append(streams, part)
+	}
+	// Resolve newest-first.
+	resolved := map[kv.Key]entry{}
+	for si := len(streams) - 1; si >= 0; si-- { // oldest first, newer overwrite
+		for _, e := range streams[si] {
+			resolved[e.rec.Key] = e
+		}
+	}
+	var out []kv.Record
+	for _, e := range resolved {
+		if !e.dead {
+			out = append(out, e.rec)
+		}
+	}
+	kv.SortRecords(out)
+	return out, at, nil
+}
+
+// mergeDown merges L0 (and any full deeper levels) into the first level
+// with room, rewriting runs sequentially in large chunks.
+func (t *Tree) mergeDown(at vtime.Ticks) (vtime.Ticks, error) {
+	// Find the deepest level j such that levels 1..j are all full; the
+	// merge target is j+1.
+	target := 0 // disk level index in t.levels to merge into (0-based)
+	for target < len(t.levels) && t.levels[target].count >= t.levelCap(target+1) {
+		target++
+	}
+	// Gather streams: head plus levels[0..target], newest first.
+	streams := [][]entry{t.head}
+	var readTime vtime.Ticks = at
+	var err error
+	for i := 0; i <= target && i < len(t.levels); i++ {
+		var es []entry
+		es, readTime, err = t.readRunAll(readTime, t.levels[i])
+		if err != nil {
+			return readTime, err
+		}
+		streams = append(streams, es)
+	}
+	at = readTime
+	isDeepest := target >= len(t.levels)-1
+	merged := mergeStreams(streams, isDeepest)
+	t.stats.Merges++
+	t.stats.MergedIn += int64(len(merged))
+
+	// Write the merged run as the new level target (0-based), clearing the
+	// shallower ones.
+	lv, at2, err := t.writeRun(at, merged)
+	if err != nil {
+		return at2, err
+	}
+	at = at2
+	for i := 0; i <= target && i < len(t.levels); i++ {
+		t.freeRun(t.levels[i])
+		t.levels[i] = &level{}
+	}
+	if target < len(t.levels) {
+		t.levels[target] = lv
+	} else {
+		t.levels = append(t.levels, lv)
+	}
+	t.head = t.head[:0]
+	return at, nil
+}
+
+// readRunAll reads a whole run with chunked sequential I/O.
+func (t *Tree) readRunAll(at vtime.Ticks, lv *level) ([]entry, vtime.Ticks, error) {
+	if lv.count == 0 {
+		return nil, at, nil
+	}
+	out := make([]entry, 0, lv.count)
+	chunk := t.cfg.chunk()
+	for p := 0; p < lv.pages; p += chunk {
+		n := chunk
+		if p+n > lv.pages {
+			n = lv.pages - p
+		}
+		buf := make([]byte, n*t.cfg.PageSize)
+		var err error
+		at, err = t.pf.ReadRun(at, lv.first+pagefile.PageID(p), n, buf)
+		if err != nil {
+			return nil, at, err
+		}
+		for q := 0; q < n; q++ {
+			out = append(out, decodePage(buf[q*t.cfg.PageSize:(q+1)*t.cfg.PageSize], t.pageCount(lv, p+q))...)
+		}
+	}
+	return out, at, nil
+}
+
+// writeRun lays out entries as a fresh sorted run with chunked writes.
+func (t *Tree) writeRun(at vtime.Ticks, es []entry) (*level, vtime.Ticks, error) {
+	epp := t.entriesPerPage()
+	pages := (len(es) + epp - 1) / epp
+	if pages == 0 {
+		pages = 1
+	}
+	first := t.pf.AllocRun(pages)
+	lv := &level{first: first, pages: pages, count: len(es)}
+	chunk := t.cfg.chunk()
+	for p := 0; p < pages; p += chunk {
+		n := chunk
+		if p+n > pages {
+			n = pages - p
+		}
+		buf := make([]byte, n*t.cfg.PageSize)
+		for q := 0; q < n; q++ {
+			lo := (p + q) * epp
+			hi := lo + epp
+			if hi > len(es) {
+				hi = len(es)
+			}
+			if lo < len(es) {
+				encodePage(buf[q*t.cfg.PageSize:(q+1)*t.cfg.PageSize], es[lo:hi])
+			}
+		}
+		var err error
+		at, err = t.pf.WriteRun(at, first+pagefile.PageID(p), n, buf)
+		if err != nil {
+			return nil, at, err
+		}
+	}
+	for p := 0; p < pages; p++ {
+		lo := p * epp
+		if lo < len(es) {
+			lv.fences = append(lv.fences, es[lo].rec.Key)
+		}
+	}
+	return lv, at, nil
+}
+
+func (t *Tree) freeRun(lv *level) {
+	for p := 0; p < lv.pages; p++ {
+		t.pf.Free(lv.first + pagefile.PageID(p))
+	}
+}
+
+// mergeStreams merges newest-first sorted streams into one sorted run;
+// duplicates resolve to the newest entry; tombstones are dropped at the
+// deepest level.
+func mergeStreams(streams [][]entry, dropTombstones bool) []entry {
+	idx := make([]int, len(streams))
+	var out []entry
+	for {
+		best := -1
+		var bestKey kv.Key
+		for s := range streams {
+			if idx[s] >= len(streams[s]) {
+				continue
+			}
+			k := streams[s][idx[s]].rec.Key
+			if best == -1 || k < bestKey {
+				best, bestKey = s, k
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		// Take the newest stream's entry among those sharing bestKey.
+		winner := entry{}
+		found := false
+		for s := range streams { // streams[0] is newest
+			if idx[s] < len(streams[s]) && streams[s][idx[s]].rec.Key == bestKey {
+				if !found {
+					winner = streams[s][idx[s]]
+					found = true
+				}
+				idx[s]++
+			}
+		}
+		if winner.dead && dropTombstones {
+			continue
+		}
+		out = append(out, winner)
+	}
+}
+
+func encodePage(buf []byte, es []entry) {
+	off := 0
+	for _, e := range es {
+		kv.PutRecord(buf[off:], e.rec)
+		if e.dead {
+			buf[off+kv.RecordSize] = 1
+		}
+		off += entrySize
+	}
+}
+
+func decodePage(buf []byte, n int) []entry {
+	out := make([]entry, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		out[i] = entry{rec: kv.GetRecord(buf[off:]), dead: buf[off+kv.RecordSize] == 1}
+		off += entrySize
+	}
+	return out
+}
+
+// BulkLoad builds the tree by placing all records in one deep run.
+func (t *Tree) BulkLoad(recs []kv.Record) error {
+	if t.count != 0 || len(t.head) > 0 || len(t.levels) > 0 {
+		return fmt.Errorf("fdtree: bulk load into non-empty tree")
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].Key >= recs[i].Key {
+			return fmt.Errorf("fdtree: bulk load input not strictly sorted at %d", i)
+		}
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	// Find the level whose capacity fits the data.
+	depth := 1
+	for t.levelCap(depth) < len(recs) {
+		depth++
+	}
+	es := make([]entry, len(recs))
+	for i, r := range recs {
+		es[i] = entry{rec: r}
+	}
+	lv, _, err := t.writeRunNoCost(es)
+	if err != nil {
+		return err
+	}
+	for i := 1; i < depth; i++ {
+		t.levels = append(t.levels, &level{})
+	}
+	t.levels = append(t.levels, lv)
+	t.count = int64(len(recs))
+	return nil
+}
+
+// writeRunNoCost lays out a run bypassing simulated time (setup only).
+func (t *Tree) writeRunNoCost(es []entry) (*level, vtime.Ticks, error) {
+	epp := t.entriesPerPage()
+	pages := (len(es) + epp - 1) / epp
+	if pages == 0 {
+		pages = 1
+	}
+	first := t.pf.AllocRun(pages)
+	lv := &level{first: first, pages: pages, count: len(es)}
+	buf := make([]byte, t.cfg.PageSize)
+	for p := 0; p < pages; p++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		lo := p * epp
+		hi := lo + epp
+		if hi > len(es) {
+			hi = len(es)
+		}
+		if lo < len(es) {
+			encodePage(buf, es[lo:hi])
+			lv.fences = append(lv.fences, es[lo].rec.Key)
+		}
+		if err := t.pf.WritePageNoCost(first+pagefile.PageID(p), buf); err != nil {
+			return nil, 0, err
+		}
+	}
+	return lv, 0, nil
+}

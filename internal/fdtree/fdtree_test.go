@@ -1,0 +1,268 @@
+package fdtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/flashsim"
+	"repro/internal/kv"
+	"repro/internal/pagefile"
+	"repro/internal/ssdio"
+	"repro/internal/vtime"
+)
+
+func newTree(t *testing.T, headPages int) *Tree {
+	t.Helper()
+	dev := flashsim.MustDevice(flashsim.P300())
+	f, err := ssdio.NewSpace(dev).Create("fd", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := pagefile.New(f, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(pf, Config{PageSize: 2048, HeadPages: headPages, SizeRatio: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestValidation(t *testing.T) {
+	dev := flashsim.MustDevice(flashsim.P300())
+	f, _ := ssdio.NewSpace(dev).Create("v", 1<<16)
+	pf, _ := pagefile.New(f, 2048)
+	if _, err := New(pf, Config{PageSize: 2048, HeadPages: 0}); err == nil {
+		t.Fatal("zero head accepted")
+	}
+	if _, err := New(pf, Config{PageSize: 32, HeadPages: 1}); err == nil {
+		t.Fatal("tiny page accepted")
+	}
+}
+
+func TestInsertSearchWithMerges(t *testing.T) {
+	tr := newTree(t, 1)
+	var at vtime.Ticks
+	var err error
+	const n = 5000
+	for i := 0; i < n; i++ {
+		at, err = tr.Insert(at, kv.Record{Key: uint64(i * 3), Value: uint64(i)})
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if tr.Stats().Merges == 0 {
+		t.Fatal("no merges happened")
+	}
+	if tr.Levels() < 2 {
+		t.Fatalf("levels = %d", tr.Levels())
+	}
+	for i := 0; i < n; i += 173 {
+		v, found, at2, err := tr.Search(at, uint64(i*3))
+		if err != nil || !found || v != uint64(i) {
+			t.Fatalf("Search(%d) = %v,%v,%v", i*3, v, found, err)
+		}
+		at = at2
+		_, found, at, err = tr.Search(at, uint64(i*3+1))
+		if err != nil || found {
+			t.Fatalf("found absent key %d", i*3+1)
+		}
+	}
+}
+
+func TestDeleteTombstones(t *testing.T) {
+	tr := newTree(t, 1)
+	var at vtime.Ticks
+	var err error
+	for i := 0; i < 2000; i++ {
+		at, err = tr.Insert(at, kv.Record{Key: uint64(i), Value: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete odd keys; some tombstones stay in shallow levels, some merge.
+	for i := 1; i < 2000; i += 2 {
+		at, err = tr.Delete(at, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2000; i += 97 {
+		_, found, at2, err := tr.Search(at, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = at2
+		if i%2 == 0 && !found {
+			t.Fatalf("even key %d missing", i)
+		}
+		if i%2 == 1 && found {
+			t.Fatalf("deleted key %d found", i)
+		}
+	}
+	if tr.Count() != 1000 {
+		t.Fatalf("count = %d", tr.Count())
+	}
+}
+
+func TestUpdateNewestWins(t *testing.T) {
+	tr := newTree(t, 1)
+	var at vtime.Ticks
+	var err error
+	for i := 0; i < 1500; i++ {
+		at, err = tr.Insert(at, kv.Record{Key: uint64(i), Value: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	at, err = tr.Update(at, kv.Record{Key: 700, Value: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, found, _, err := tr.Search(at, 700)
+	if err != nil || !found || v != 42 {
+		t.Fatalf("after update: %v %v %v", v, found, err)
+	}
+}
+
+func TestRangeSearch(t *testing.T) {
+	tr := newTree(t, 1)
+	var at vtime.Ticks
+	var err error
+	model := map[kv.Key]kv.Value{}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 4000; i++ {
+		k := uint64(rng.Intn(3000))
+		if rng.Intn(5) == 0 {
+			at, err = tr.Delete(at, k)
+			delete(model, k)
+		} else {
+			at, err = tr.Insert(at, kv.Record{Key: k, Value: uint64(i)})
+			model[k] = uint64(i)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, err := tr.RangeSearch(at, 1000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for k := range model {
+		if k >= 1000 && k < 2000 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("range %d records, want %d", len(got), want)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Key >= got[i].Key {
+			t.Fatal("range unsorted")
+		}
+	}
+	for _, r := range got {
+		if model[r.Key] != r.Value {
+			t.Fatalf("key %d value %d want %d", r.Key, r.Value, model[r.Key])
+		}
+	}
+	if out, _, err := tr.RangeSearch(at, 5, 5); err != nil || out != nil {
+		t.Fatal("empty range misbehaved")
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	tr := newTree(t, 1)
+	recs := make([]kv.Record, 20000)
+	for i := range recs {
+		recs[i] = kv.Record{Key: uint64(i) * 2, Value: uint64(i)}
+	}
+	if err := tr.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count() != 20000 {
+		t.Fatalf("count = %d", tr.Count())
+	}
+	for _, i := range []int{0, 10000, 19999} {
+		v, found, _, err := tr.Search(0, recs[i].Key)
+		if err != nil || !found || v != recs[i].Value {
+			t.Fatalf("Search(%d): %v %v %v", recs[i].Key, v, found, err)
+		}
+	}
+	if err := tr.BulkLoad(recs); err == nil {
+		t.Fatal("double bulk load accepted")
+	}
+	if err := newTree(t, 1).BulkLoad([]kv.Record{{Key: 3}, {Key: 1}}); err == nil {
+		t.Fatal("unsorted bulk load accepted")
+	}
+}
+
+func TestInsertAfterBulkLoadMergesInto(t *testing.T) {
+	tr := newTree(t, 1)
+	recs := make([]kv.Record, 8000)
+	for i := range recs {
+		recs[i] = kv.Record{Key: uint64(i) * 10, Value: uint64(i)}
+	}
+	if err := tr.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	var at vtime.Ticks
+	var err error
+	for i := 0; i < 3000; i++ {
+		at, err = tr.Insert(at, kv.Record{Key: uint64(i)*10 + 5, Value: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both old and new keys visible.
+	v, found, at, err := tr.Search(at, 500*10)
+	if err != nil || !found || v != 500 {
+		t.Fatalf("old key: %v %v %v", v, found, err)
+	}
+	v, found, _, err = tr.Search(at, 500*10+5)
+	if err != nil || !found || v != 500 {
+		t.Fatalf("new key: %v %v %v", v, found, err)
+	}
+}
+
+func TestPointSearchCostGrowsWithLevels(t *testing.T) {
+	// More levels => more page probes per search (the FD-tree handicap).
+	// Random keys keep every level's key range overlapping the whole
+	// space, so a point search must probe each non-empty level.
+	tr := newTree(t, 1)
+	var at vtime.Ticks
+	var err error
+	rng := rand.New(rand.NewSource(21))
+	keys := rng.Perm(6100) // not a cascade multiple: shallow levels stay populated
+	for i, k := range keys {
+		at, err = tr.Insert(at, kv.Record{Key: uint64(k) * 2, Value: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	nonEmpty := 0
+	for _, lv := range tr.levels {
+		if lv.count > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Skipf("workload left only %d non-empty levels", nonEmpty)
+	}
+	before := tr.Stats().LevelReads
+	const searches = 50
+	for i := 0; i < searches; i++ {
+		// Absent odd keys force a probe of every populated level.
+		_, found, at2, err := tr.Search(at, uint64(keys[i*101%len(keys)])*2+1)
+		if err != nil || found {
+			t.Fatalf("absent key found: %v %v", found, err)
+		}
+		at = at2
+	}
+	probes := float64(tr.Stats().LevelReads-before) / searches
+	if probes < 1.2 {
+		t.Fatalf("FD-tree probes/search = %.2f, expected > 1.2 with %d non-empty levels", probes, nonEmpty)
+	}
+}

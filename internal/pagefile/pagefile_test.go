@@ -1,0 +1,200 @@
+package pagefile
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/flashsim"
+	"repro/internal/ssdio"
+)
+
+func newPF(t *testing.T, pageSize int) *PageFile {
+	t.Helper()
+	dev := flashsim.MustDevice(flashsim.F120())
+	space := ssdio.NewSpace(dev)
+	f, err := space.Create("pf", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := New(f, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pf
+}
+
+func TestNewRejectsBadPageSize(t *testing.T) {
+	dev := flashsim.MustDevice(flashsim.F120())
+	f, _ := ssdio.NewSpace(dev).Create("x", 1<<16)
+	for _, sz := range []int{0, -4, 3000} {
+		if _, err := New(f, sz); err == nil {
+			t.Errorf("page size %d accepted", sz)
+		}
+	}
+}
+
+func TestAllocFreeReuse(t *testing.T) {
+	pf := newPF(t, 4096)
+	a := pf.Alloc()
+	b := pf.Alloc()
+	if a == b {
+		t.Fatal("duplicate page ids")
+	}
+	pf.Free(a)
+	c := pf.Alloc()
+	if c != a {
+		t.Fatalf("freed page not recycled: got %d want %d", c, a)
+	}
+	if pf.NumPages() != 2 {
+		t.Fatalf("NumPages = %d", pf.NumPages())
+	}
+}
+
+func TestAllocRunConsecutive(t *testing.T) {
+	pf := newPF(t, 4096)
+	first := pf.AllocRun(5)
+	next := pf.Alloc()
+	if next != first+5 {
+		t.Fatalf("run not consecutive: first=%d next=%d", first, next)
+	}
+}
+
+func TestReadWritePage(t *testing.T) {
+	pf := newPF(t, 4096)
+	id := pf.Alloc()
+	in := bytes.Repeat([]byte{7}, 4096)
+	at, err := pf.WritePage(0, id, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 4096)
+	at2, err := pf.ReadPage(at, id, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at2 <= at {
+		t.Fatal("read free")
+	}
+	if !bytes.Equal(in, out) {
+		t.Fatal("contents mismatch")
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	pf := newPF(t, 4096)
+	id := pf.Alloc()
+	short := make([]byte, 100)
+	if _, err := pf.ReadPage(0, id, short); err == nil {
+		t.Error("short read buffer accepted")
+	}
+	if _, err := pf.WritePage(0, id, short); err == nil {
+		t.Error("short write buffer accepted")
+	}
+	if _, err := pf.ReadPage(0, id+100, make([]byte, 4096)); err == nil {
+		t.Error("unallocated page read accepted")
+	}
+	if _, err := pf.ReadPage(0, InvalidPage, make([]byte, 4096)); err == nil {
+		t.Error("InvalidPage read accepted")
+	}
+	if _, err := pf.ReadRun(0, id, 3, make([]byte, 3*4096)); err == nil {
+		t.Error("run past end accepted")
+	}
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	pf := newPF(t, 4096)
+	first := pf.AllocRun(4)
+	in := make([]byte, 4*4096)
+	for i := range in {
+		in[i] = byte(i % 251)
+	}
+	at, err := pf.WriteRun(0, first, 4, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 4*4096)
+	if _, err := pf.ReadRun(at, first, 4, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, out) {
+		t.Fatal("run contents mismatch")
+	}
+}
+
+func TestPsyncReadWrite(t *testing.T) {
+	pf := newPF(t, 4096)
+	ids := make([]PageID, 8)
+	bufs := make([][]byte, 8)
+	for i := range ids {
+		ids[i] = pf.Alloc()
+		bufs[i] = bytes.Repeat([]byte{byte(i + 1)}, 4096)
+	}
+	at, err := pf.PsyncWrite(0, ids, bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := make([][]byte, 8)
+	for i := range outs {
+		outs[i] = make([]byte, 4096)
+	}
+	if _, err := pf.PsyncRead(at, ids, outs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range outs {
+		if outs[i][0] != byte(i+1) {
+			t.Fatalf("page %d contents %d", i, outs[i][0])
+		}
+	}
+	if _, err := pf.PsyncRead(0, ids, outs[:4]); err == nil {
+		t.Error("mismatched ids/bufs accepted")
+	}
+}
+
+func TestPsyncRuns(t *testing.T) {
+	pf := newPF(t, 4096)
+	a := pf.AllocRun(2)
+	b := pf.AllocRun(3)
+	wa := bytes.Repeat([]byte{0x11}, 2*4096)
+	wb := bytes.Repeat([]byte{0x22}, 3*4096)
+	at, err := pf.PsyncRuns(0, []RunReq{
+		{First: a, N: 2, Buf: wa, Write: true},
+		{First: b, N: 3, Buf: wb, Write: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := make([]byte, 2*4096)
+	rb := make([]byte, 3*4096)
+	if _, err := pf.PsyncRuns(at, []RunReq{
+		{First: a, N: 2, Buf: ra},
+		{First: b, N: 3, Buf: rb},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ra, wa) || !bytes.Equal(rb, wb) {
+		t.Fatal("run batch contents mismatch")
+	}
+	if _, err := pf.PsyncRuns(0, []RunReq{{First: a, N: 0, Buf: nil}}); err == nil {
+		t.Error("zero-length run accepted")
+	}
+}
+
+func TestNoCostAccessors(t *testing.T) {
+	pf := newPF(t, 4096)
+	id := pf.Alloc()
+	in := bytes.Repeat([]byte{9}, 4096)
+	if err := pf.WritePageNoCost(id, in); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 4096)
+	if err := pf.ReadPageNoCost(id, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, out) {
+		t.Fatal("no-cost round trip failed")
+	}
+	st := pf.File().Stats()
+	if st.SyncCalls != 0 || st.PsyncCalls != 0 {
+		t.Fatalf("no-cost access hit the device: %+v", st)
+	}
+}

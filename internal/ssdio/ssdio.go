@@ -1,0 +1,315 @@
+// Package ssdio layers files and I/O request methods over the simulated
+// flash SSD. It provides the three request methods compared in Section 2.3
+// of the paper:
+//
+//   - Sync: one blocking request at a time (traditional synchronous I/O);
+//   - Psync: "parallel synchronous I/O" — a whole array of requests is
+//     submitted at once and the caller blocks until every member completed,
+//     with no completion-event routine;
+//   - thread-mode: many simulated threads each issuing Sync requests
+//     (parallel processing), including the POSIX write-ordering per-file
+//     writer lock that serializes synchronous direct writes to a shared
+//     file (the effect behind Figure 4(a) vs 4(b)).
+//
+// Files hold real contents (byte slices) while all timing comes from the
+// flashsim device, so index structures built on top are both functionally
+// correct and time-faithful.
+package ssdio
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/flashsim"
+	"repro/internal/vtime"
+)
+
+// ErrOutOfRange reports an access beyond the end of a file.
+var ErrOutOfRange = errors.New("ssdio: access out of file range")
+
+// Req is one file I/O: read fills Buf from the file, write stores Buf into
+// the file. Off is file-relative. len(Buf) is the transfer size.
+type Req struct {
+	Op  flashsim.Op
+	Off int64
+	Buf []byte
+}
+
+// Stats counts submitter activity for the context-switch experiment
+// (Figure 4(c)) and general reporting.
+type Stats struct {
+	// SyncCalls / PsyncCalls count blocking submissions.
+	SyncCalls  int64
+	PsyncCalls int64
+	// PsyncReqs counts requests carried inside psync batches.
+	PsyncReqs int64
+	// CtxSwitches counts simulated context switches: every blocking call
+	// costs two (block on submit, wake on completion), independent of the
+	// number of requests in the batch — the key psync advantage.
+	CtxSwitches int64
+	// IOTime accumulates time spent blocked in I/O calls.
+	IOTime vtime.Ticks
+}
+
+// Space is an allocator of device address ranges: a minimal file system on
+// the simulated SSD. It is safe for concurrent use.
+type Space struct {
+	dev *flashsim.Device
+
+	mu    sync.Mutex
+	next  int64
+	files map[string]*File
+}
+
+// NewSpace creates an empty space on dev.
+func NewSpace(dev *flashsim.Device) *Space {
+	return &Space{dev: dev, files: make(map[string]*File)}
+}
+
+// Device returns the underlying simulated device.
+func (s *Space) Device() *flashsim.Device { return s.dev }
+
+// Create allocates a file of the given size (bytes). Creating an existing
+// name returns an error; use Open to retrieve it.
+func (s *Space) Create(name string, size int64) (*File, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("ssdio: create %q: size must be positive, got %d", name, size)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[name]; ok {
+		return nil, fmt.Errorf("ssdio: create %q: file exists", name)
+	}
+	f := &File{
+		space: s,
+		name:  name,
+		base:  s.next,
+		data:  make([]byte, size),
+	}
+	// Align file bases to the flash page size so striping begins at a
+	// channel boundary for every file.
+	fps := int64(s.dev.Config().FlashPageSize)
+	s.next += (size + fps - 1) / fps * fps
+	s.files[name] = f
+	return f, nil
+}
+
+// Open returns a previously created file.
+func (s *Space) Open(name string) (*File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[name]
+	if !ok {
+		return nil, fmt.Errorf("ssdio: open %q: no such file", name)
+	}
+	return f, nil
+}
+
+// Remove deletes a file's directory entry (its address range is not
+// reused; the space is an arena).
+func (s *Space) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[name]; !ok {
+		return fmt.Errorf("ssdio: remove %q: no such file", name)
+	}
+	delete(s.files, name)
+	return nil
+}
+
+// File is a fixed-base, growable byte range on the simulated SSD.
+type File struct {
+	space *Space
+	name  string
+	base  int64
+
+	mu   sync.Mutex
+	data []byte
+
+	// writeOrder models the per-file reader-writer lock POSIX-compliant
+	// file systems use to satisfy write ordering for synchronous writes
+	// (Section 2.3). Only Sync writes take it; Psync batches come from a
+	// single submitter and are exempt, which is exactly why psync I/O wins
+	// on a shared file in Figure 4(a).
+	writeOrder vtime.Mutex
+
+	stats Stats
+}
+
+// Name returns the file's name within its Space.
+func (f *File) Name() string { return f.name }
+
+// Size returns the current file size in bytes.
+func (f *File) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int64(len(f.data))
+}
+
+// Stats returns a snapshot of the file's submitter counters.
+func (f *File) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// ResetStats zeroes the counters.
+func (f *File) ResetStats() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats = Stats{}
+}
+
+// EnsureSize grows the file to at least size bytes (contents zero-filled).
+// Growth is a metadata operation and carries no simulated I/O cost. The
+// backing array grows geometrically so repeated small extensions (every
+// page allocation calls EnsureSize) stay amortized O(1) per byte.
+func (f *File) EnsureSize(size int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if int64(len(f.data)) >= size {
+		return
+	}
+	if int64(cap(f.data)) >= size {
+		f.data = f.data[:size]
+		return
+	}
+	newCap := int64(cap(f.data)) * 2
+	if newCap < size {
+		newCap = size
+	}
+	nd := make([]byte, size, newCap)
+	copy(nd, f.data)
+	f.data = nd
+}
+
+// checkRange validates one request against the file size.
+// Caller holds f.mu.
+func (f *File) checkRange(r Req) error {
+	if r.Off < 0 || r.Off+int64(len(r.Buf)) > int64(len(f.data)) {
+		return fmt.Errorf("%w: %s off=%d len=%d size=%d", ErrOutOfRange, f.name, r.Off, len(r.Buf), len(f.data))
+	}
+	if len(r.Buf) == 0 {
+		return fmt.Errorf("ssdio: %s: empty buffer", f.name)
+	}
+	return nil
+}
+
+// apply moves bytes for one request. Caller holds f.mu.
+func (f *File) apply(r Req) {
+	if r.Op == flashsim.Read {
+		copy(r.Buf, f.data[r.Off:])
+	} else {
+		copy(f.data[r.Off:], r.Buf)
+	}
+}
+
+// Psync submits the whole batch at virtual time at and returns the time at
+// which every request has completed. This is the paper's psync I/O: one
+// blocking call, outstanding level = len(reqs).
+func (f *File) Psync(at vtime.Ticks, reqs []Req) (vtime.Ticks, error) {
+	if len(reqs) == 0 {
+		return at, nil
+	}
+	f.mu.Lock()
+	devReqs := make([]flashsim.Request, len(reqs))
+	for i, r := range reqs {
+		if err := f.checkRange(r); err != nil {
+			f.mu.Unlock()
+			return at, err
+		}
+		devReqs[i] = flashsim.Request{Op: r.Op, Offset: f.base + r.Off, Size: len(r.Buf)}
+	}
+	for _, r := range reqs {
+		f.apply(r)
+	}
+	f.stats.PsyncCalls++
+	f.stats.PsyncReqs += int64(len(reqs))
+	f.stats.CtxSwitches += 2
+	f.mu.Unlock()
+
+	_, done := f.space.dev.Submit(at, devReqs)
+
+	f.mu.Lock()
+	f.stats.IOTime += done - at
+	f.mu.Unlock()
+	return done, nil
+}
+
+// Sync submits one blocking request at virtual time at. Synchronous writes
+// serialize on the file's write-ordering lock, reproducing the POSIX
+// behaviour that prevents parallel processing from exploiting internal
+// parallelism on a shared file.
+func (f *File) Sync(at vtime.Ticks, r Req) (vtime.Ticks, error) {
+	f.mu.Lock()
+	if err := f.checkRange(r); err != nil {
+		f.mu.Unlock()
+		return at, err
+	}
+	f.apply(r)
+	f.stats.SyncCalls++
+	f.stats.CtxSwitches += 2
+	start := at
+	if r.Op == flashsim.Write {
+		start = f.writeOrder.Acquire(at)
+	}
+	devReq := flashsim.Request{Op: r.Op, Offset: f.base + r.Off, Size: len(r.Buf)}
+	f.mu.Unlock()
+
+	res := f.space.dev.SubmitOne(start, devReq)
+
+	f.mu.Lock()
+	if r.Op == flashsim.Write {
+		f.writeOrder.Release(res.Done)
+	}
+	f.stats.IOTime += res.Done - at
+	f.mu.Unlock()
+	return res.Done, nil
+}
+
+// ReadAt copies file contents without any simulated I/O cost. It is meant
+// for experiment setup, assertions and debugging, never for timed paths.
+func (f *File) ReadAt(buf []byte, off int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if off < 0 || off+int64(len(buf)) > int64(len(f.data)) {
+		return fmt.Errorf("%w: %s off=%d len=%d size=%d", ErrOutOfRange, f.name, off, len(buf), len(f.data))
+	}
+	copy(buf, f.data[off:])
+	return nil
+}
+
+// WriteAt stores file contents without any simulated I/O cost (see ReadAt).
+func (f *File) WriteAt(buf []byte, off int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if off < 0 {
+		return fmt.Errorf("%w: %s off=%d", ErrOutOfRange, f.name, off)
+	}
+	if need := off + int64(len(buf)); need > int64(len(f.data)) {
+		nd := make([]byte, need)
+		copy(nd, f.data)
+		f.data = nd
+	}
+	copy(f.data[off:], buf)
+	return nil
+}
+
+// Snapshot returns a copy of the file contents, used by crash-recovery
+// tests to capture the durable state at a simulated crash point.
+func (f *File) Snapshot() []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]byte, len(f.data))
+	copy(out, f.data)
+	return out
+}
+
+// Restore replaces the file contents from a snapshot.
+func (f *File) Restore(data []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.data = make([]byte, len(data))
+	copy(f.data, data)
+}

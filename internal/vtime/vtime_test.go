@@ -1,0 +1,198 @@
+package vtime
+
+import "testing"
+
+func TestTicksUnits(t *testing.T) {
+	if Microsecond != 1000 || Millisecond != 1000*1000 || Second != 1000*1000*1000 {
+		t.Fatalf("unit constants wrong: %d %d %d", Microsecond, Millisecond, Second)
+	}
+	if got := (1500 * Microsecond).Millis(); got != 1.5 {
+		t.Errorf("Millis = %v, want 1.5", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2 {
+		t.Errorf("Seconds = %v, want 2", got)
+	}
+	if got := (3 * Microsecond).Micros(); got != 3 {
+		t.Errorf("Micros = %v, want 3", got)
+	}
+}
+
+func TestTicksString(t *testing.T) {
+	cases := []struct {
+		in   Ticks
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000µs"},
+		{3 * Millisecond, "3.000ms"},
+		{4 * Second, "4.000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max wrong")
+	}
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min wrong")
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := NewClock(10)
+	if c.Now() != 10 {
+		t.Fatalf("Now = %d, want 10", c.Now())
+	}
+	c.Advance(5)
+	if c.Now() != 15 {
+		t.Fatalf("after Advance, Now = %d, want 15", c.Now())
+	}
+	c.AdvanceTo(12) // earlier: no-op
+	if c.Now() != 15 {
+		t.Fatalf("AdvanceTo(12) moved clock backwards to %d", c.Now())
+	}
+	c.AdvanceTo(20)
+	if c.Now() != 20 {
+		t.Fatalf("AdvanceTo(20) = %d", c.Now())
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	new(Clock).Advance(-1)
+}
+
+func TestMutexUncontended(t *testing.T) {
+	var m Mutex
+	got := m.Acquire(100)
+	if got != 100 {
+		t.Fatalf("uncontended Acquire = %d, want 100", got)
+	}
+	m.Release(150)
+	if m.Waits != 0 {
+		t.Errorf("Waits = %d, want 0", m.Waits)
+	}
+}
+
+func TestMutexContended(t *testing.T) {
+	var m Mutex
+	m.Acquire(0)
+	m.Release(100)
+	got := m.Acquire(40)
+	if got != 100 {
+		t.Fatalf("contended Acquire = %d, want 100", got)
+	}
+	if m.Waits != 1 || m.Contended != 60 {
+		t.Errorf("Waits=%d Contended=%d, want 1, 60", m.Waits, m.Contended)
+	}
+	// Release earlier than freeAt must not move the time line backwards.
+	m.Release(100)
+	m.Release(50)
+	if m.FreeAt() != 100 {
+		t.Errorf("FreeAt = %d, want 100", m.FreeAt())
+	}
+}
+
+func TestSchedulerSmallestClockFirst(t *testing.T) {
+	var order []int
+	mk := func(id int, start Ticks, step Ticks, n int) *Thread {
+		th := &Thread{ID: id}
+		th.Clock.AdvanceTo(start)
+		remaining := n
+		th.Step = func(t *Thread) bool {
+			order = append(order, t.ID)
+			t.Clock.Advance(step)
+			remaining--
+			return remaining > 0
+		}
+		return th
+	}
+	// Thread 0 at t=0 with 10-tick steps, thread 1 at t=5 with 10-tick steps.
+	a := mk(0, 0, 10, 3)
+	b := mk(1, 5, 10, 3)
+	s := NewScheduler(0, a, b)
+	end := s.Run()
+	want := []int{0, 1, 0, 1, 0, 1}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if end != 35 {
+		t.Errorf("makespan = %d, want 35", end)
+	}
+}
+
+func TestSchedulerContextSwitchCost(t *testing.T) {
+	mk := func(id int, n int) *Thread {
+		th := &Thread{ID: id}
+		remaining := n
+		th.Step = func(t *Thread) bool {
+			t.Clock.Advance(10)
+			remaining--
+			return remaining > 0
+		}
+		return th
+	}
+	a, b := mk(0, 5), mk(1, 5)
+	s := NewScheduler(3, a, b)
+	s.Run()
+	if s.TotalCtxSwitches() == 0 {
+		t.Fatal("expected context switches with two interleaved threads")
+	}
+	if a.Clock.Now() <= 50 && b.Clock.Now() <= 50 {
+		t.Errorf("context switch cost not charged: a=%d b=%d", a.Clock.Now(), b.Clock.Now())
+	}
+}
+
+func TestSchedulerSingleThreadNoSwitches(t *testing.T) {
+	n := 10
+	th := &Thread{Step: func(t *Thread) bool {
+		t.Clock.Advance(1)
+		n--
+		return n > 0
+	}}
+	s := NewScheduler(5, th)
+	end := s.Run()
+	if end != 10 {
+		t.Fatalf("makespan = %d, want 10", end)
+	}
+	if s.TotalCtxSwitches() != 0 {
+		t.Fatalf("single thread had %d context switches", s.TotalCtxSwitches())
+	}
+}
+
+func TestSchedulerDeterminism(t *testing.T) {
+	run := func() Ticks {
+		mk := func(id, n int) *Thread {
+			th := &Thread{ID: id}
+			remaining := n
+			th.Step = func(t *Thread) bool {
+				t.Clock.Advance(Ticks(1 + id))
+				remaining--
+				return remaining > 0
+			}
+			return th
+		}
+		s := NewScheduler(2, mk(0, 100), mk(1, 80), mk(2, 60))
+		return s.Run()
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("nondeterministic makespan: %d vs %d", got, first)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package wal implements write-ahead logging for the PIO B-tree's crash
+// recovery scheme (Section 3.4 and Table 2 of the paper).
+//
+// The paper's OPQ keeps committed index records only in memory, so it
+// extends ARIES-style logging with three PIO-specific record kinds:
+//
+//   - logical redo log  <Ti, Ri, op-type, index record>: one per OPQ
+//     append; redone after a crash for entries that were never flushed;
+//   - flush event log   <Ti, Ri, FlushStart/FlushEnd, key range>: brackets
+//     every OPQ flush so recovery can tell completed flushes (whose redo
+//     logs must be skipped — logical redo is not idempotent) from
+//     incomplete ones (which must be undone);
+//   - flush undo log    <Ri, node id, undo info>: one per node updated by a
+//     flush, replayed backwards to roll an incomplete flush off the tree.
+//
+// Records are length-prefixed, CRC-checked, and appended to a simulated
+// SSD file; Force writes the in-memory tail with sequential page writes
+// and returns the new durable LSN.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/flashsim"
+	"repro/internal/ssdio"
+	"repro/internal/vtime"
+)
+
+// Kind enumerates the log record types of Table 2 plus the generic
+// transaction-control records every WAL needs.
+type Kind uint8
+
+const (
+	// KindLogicalRedo is a logical redo log for one OPQ entry.
+	KindLogicalRedo Kind = iota + 1
+	// KindFlushStart opens an OPQ flush (key range recorded).
+	KindFlushStart
+	// KindFlushEnd closes an OPQ flush (same key range as its start).
+	KindFlushEnd
+	// KindFlushUndo records physical undo info for one node updated during
+	// a flush.
+	KindFlushUndo
+	// KindCommit marks a transaction committed.
+	KindCommit
+	// KindCheckpoint marks a checkpoint (OPQ fully flushed).
+	KindCheckpoint
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindLogicalRedo:
+		return "logical-redo"
+	case KindFlushStart:
+		return "flush-start"
+	case KindFlushEnd:
+		return "flush-end"
+	case KindFlushUndo:
+		return "flush-undo"
+	case KindCommit:
+		return "commit"
+	case KindCheckpoint:
+		return "checkpoint"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// OpType is the update-operation type carried by a logical redo record,
+// matching the OPQ entry flags of Section 3.1.3 (i: insert, d: delete,
+// u: update).
+type OpType uint8
+
+const (
+	// OpInsert is an index-insert.
+	OpInsert OpType = 'i'
+	// OpDelete is an index-delete.
+	OpDelete OpType = 'd'
+	// OpUpdate is an index-update.
+	OpUpdate OpType = 'u'
+)
+
+// Record is one WAL record. Fields beyond Kind are used selectively per
+// kind; unused fields are zero.
+type Record struct {
+	LSN      uint64
+	Kind     Kind
+	TxID     uint64
+	Relation uint32 // index relation id (Ri)
+
+	// Logical redo payload.
+	Op    OpType
+	Key   uint64
+	Value uint64
+
+	// Flush event payload: [KeyLo, KeyHi] is the flushed key range;
+	// FlushID pairs start/end records.
+	FlushID      uint64
+	KeyLo, KeyHi uint64
+
+	// Flush undo payload: the pre-image of one updated node.
+	NodeID   int64
+	UndoInfo []byte
+}
+
+const recordHeaderSize = 1 + 8 + 8 + 4 + 1 + 8 + 8 + 8 + 8 + 8 + 8 + 4 // kind..nodeid + undolen
+
+// marshal appends the record's wire form (length, crc, body) to dst.
+func (r *Record) marshal(dst []byte) []byte {
+	body := make([]byte, 0, recordHeaderSize+len(r.UndoInfo))
+	body = append(body, byte(r.Kind))
+	body = binary.LittleEndian.AppendUint64(body, r.LSN)
+	body = binary.LittleEndian.AppendUint64(body, r.TxID)
+	body = binary.LittleEndian.AppendUint32(body, r.Relation)
+	body = append(body, byte(r.Op))
+	body = binary.LittleEndian.AppendUint64(body, r.Key)
+	body = binary.LittleEndian.AppendUint64(body, r.Value)
+	body = binary.LittleEndian.AppendUint64(body, r.FlushID)
+	body = binary.LittleEndian.AppendUint64(body, r.KeyLo)
+	body = binary.LittleEndian.AppendUint64(body, r.KeyHi)
+	body = binary.LittleEndian.AppendUint64(body, uint64(r.NodeID))
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(r.UndoInfo)))
+	body = append(body, r.UndoInfo...)
+
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(body))
+	return append(dst, body...)
+}
+
+// errTruncated reports the clean end of the log.
+var errTruncated = errors.New("wal: truncated record")
+
+// unmarshal decodes one record from b, returning the record and the number
+// of bytes consumed. A zero length or short buffer yields errTruncated
+// (normal end of log); a CRC mismatch is a hard error.
+func unmarshal(b []byte) (Record, int, error) {
+	if len(b) < 8 {
+		return Record{}, 0, errTruncated
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n == 0 || n < recordHeaderSize {
+		return Record{}, 0, errTruncated
+	}
+	crc := binary.LittleEndian.Uint32(b[4:])
+	if len(b) < 8+int(n) {
+		return Record{}, 0, errTruncated
+	}
+	body := b[8 : 8+n]
+	if crc32.ChecksumIEEE(body) != crc {
+		return Record{}, 0, fmt.Errorf("wal: CRC mismatch")
+	}
+	var r Record
+	r.Kind = Kind(body[0])
+	r.LSN = binary.LittleEndian.Uint64(body[1:])
+	r.TxID = binary.LittleEndian.Uint64(body[9:])
+	r.Relation = binary.LittleEndian.Uint32(body[17:])
+	r.Op = OpType(body[21])
+	r.Key = binary.LittleEndian.Uint64(body[22:])
+	r.Value = binary.LittleEndian.Uint64(body[30:])
+	r.FlushID = binary.LittleEndian.Uint64(body[38:])
+	r.KeyLo = binary.LittleEndian.Uint64(body[46:])
+	r.KeyHi = binary.LittleEndian.Uint64(body[54:])
+	r.NodeID = int64(binary.LittleEndian.Uint64(body[62:]))
+	ul := binary.LittleEndian.Uint32(body[70:])
+	if int(ul) != len(body)-recordHeaderSize {
+		return Record{}, 0, fmt.Errorf("wal: bad undo length %d", ul)
+	}
+	if ul > 0 {
+		r.UndoInfo = append([]byte(nil), body[recordHeaderSize:]...)
+	}
+	return r, 8 + int(n), nil
+}
+
+// Log is a write-ahead log on a simulated SSD file. Appends accumulate in
+// an in-memory tail; Force makes them durable with sequential writes.
+type Log struct {
+	f        *ssdio.File
+	pageSize int
+
+	nextLSN    uint64
+	durableOff int64  // bytes of the file that are durable
+	tail       []byte // appended but not yet forced
+	forced     uint64 // LSN up to which records are durable (exclusive next)
+
+	// ForceWrites counts device writes issued by Force, for experiments.
+	ForceWrites int64
+}
+
+// NewLog creates a WAL on file f using the given force-write granularity
+// (typically the index page size).
+func NewLog(f *ssdio.File, pageSize int) (*Log, error) {
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("wal: page size must be positive, got %d", pageSize)
+	}
+	return &Log{f: f, pageSize: pageSize, nextLSN: 1}, nil
+}
+
+// Append adds a record to the in-memory tail and returns its LSN. The
+// record is not durable until Force.
+func (l *Log) Append(r Record) uint64 {
+	r.LSN = l.nextLSN
+	l.nextLSN++
+	l.tail = r.marshal(l.tail)
+	return r.LSN
+}
+
+// DurableLSN returns the highest LSN guaranteed durable.
+func (l *Log) DurableLSN() uint64 { return l.forced }
+
+// Force writes the tail to the device (sequential, page-rounded) at
+// virtual time at and returns the completion time. After Force returns,
+// every appended record is durable: the WAL rule both of Section 3.4's
+// conditions rely on.
+func (l *Log) Force(at vtime.Ticks) (vtime.Ticks, error) {
+	if len(l.tail) == 0 {
+		return at, nil
+	}
+	n := (len(l.tail) + l.pageSize - 1) / l.pageSize * l.pageSize
+	buf := make([]byte, n)
+	copy(buf, l.tail)
+	l.f.EnsureSize(l.durableOff + int64(n))
+	done, err := l.f.Sync(at, ssdio.Req{Op: flashsim.Write, Off: l.durableOff, Buf: buf})
+	if err != nil {
+		return at, err
+	}
+	l.ForceWrites++
+	l.durableOff += int64(len(l.tail))
+	l.tail = l.tail[:0]
+	l.forced = l.nextLSN - 1
+	return done, nil
+}
+
+// Records decodes every durable record, in append order. Used by recovery
+// (the in-memory tail is, by definition, lost in a crash).
+func (l *Log) Records() ([]Record, error) {
+	buf := make([]byte, l.durableOff)
+	if l.durableOff > 0 {
+		if err := l.f.ReadAt(buf, 0); err != nil {
+			return nil, err
+		}
+	}
+	var out []Record
+	for len(buf) > 0 {
+		r, n, err := unmarshal(buf)
+		if err != nil {
+			if errors.Is(err, errTruncated) {
+				break
+			}
+			return nil, err
+		}
+		out = append(out, r)
+		buf = buf[n:]
+	}
+	return out, nil
+}
+
+// Crash discards the volatile tail, simulating the loss of unforced
+// records at a system crash.
+func (l *Log) Crash() {
+	l.tail = l.tail[:0]
+	l.nextLSN = l.forced + 1
+}

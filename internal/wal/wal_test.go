@@ -1,0 +1,186 @@
+package wal
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flashsim"
+	"repro/internal/ssdio"
+)
+
+func newLog(t *testing.T) *Log {
+	t.Helper()
+	dev := flashsim.MustDevice(flashsim.P300())
+	f, err := ssdio.NewSpace(dev).Create("wal", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLog(f, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindLogicalRedo, KindFlushStart, KindFlushEnd, KindFlushUndo, KindCommit, KindCheckpoint, Kind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", k)
+		}
+	}
+}
+
+func TestAppendForceRead(t *testing.T) {
+	l := newLog(t)
+	lsn1 := l.Append(Record{Kind: KindLogicalRedo, TxID: 1, Relation: 2, Op: OpInsert, Key: 10, Value: 100})
+	lsn2 := l.Append(Record{Kind: KindFlushStart, FlushID: 7, KeyLo: 1, KeyHi: 50})
+	if lsn2 != lsn1+1 {
+		t.Fatalf("LSNs not sequential: %d %d", lsn1, lsn2)
+	}
+	if l.DurableLSN() != 0 {
+		t.Fatal("records durable before Force")
+	}
+	done, err := l.Force(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= 0 {
+		t.Fatal("force cost no time")
+	}
+	if l.DurableLSN() != lsn2 {
+		t.Fatalf("durable LSN %d, want %d", l.DurableLSN(), lsn2)
+	}
+	recs, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("read %d records", len(recs))
+	}
+	r := recs[0]
+	if r.Kind != KindLogicalRedo || r.TxID != 1 || r.Relation != 2 || r.Op != OpInsert || r.Key != 10 || r.Value != 100 {
+		t.Fatalf("record mismatch: %+v", r)
+	}
+	if recs[1].FlushID != 7 || recs[1].KeyLo != 1 || recs[1].KeyHi != 50 {
+		t.Fatalf("record mismatch: %+v", recs[1])
+	}
+}
+
+func TestForceEmptyTailFree(t *testing.T) {
+	l := newLog(t)
+	done, err := l.Force(42)
+	if err != nil || done != 42 {
+		t.Fatalf("empty force: %v %v", done, err)
+	}
+}
+
+func TestCrashDropsTail(t *testing.T) {
+	l := newLog(t)
+	l.Append(Record{Kind: KindLogicalRedo, Key: 1})
+	if _, err := l.Force(0); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Record{Kind: KindLogicalRedo, Key: 2})
+	l.Crash()
+	recs, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Key != 1 {
+		t.Fatalf("after crash: %+v", recs)
+	}
+	// LSNs continue from the durable point.
+	lsn := l.Append(Record{Kind: KindLogicalRedo, Key: 3})
+	if lsn != 2 {
+		t.Fatalf("post-crash LSN %d, want 2", lsn)
+	}
+}
+
+func TestUndoInfoRoundTrip(t *testing.T) {
+	l := newLog(t)
+	undo := make([]byte, 1024)
+	for i := range undo {
+		undo[i] = byte(i)
+	}
+	l.Append(Record{Kind: KindFlushUndo, NodeID: -5, UndoInfo: undo})
+	if _, err := l.Force(0); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].NodeID != -5 || len(recs[0].UndoInfo) != 1024 {
+		t.Fatalf("undo record: %+v", recs[0])
+	}
+	for i, b := range recs[0].UndoInfo {
+		if b != byte(i) {
+			t.Fatalf("undo byte %d = %d", i, b)
+		}
+	}
+}
+
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	f := func(kind uint8, tx uint64, rel uint32, op uint8, key, val, fid, lo, hi uint64, node int64, undo []byte) bool {
+		if len(undo) > 4096 {
+			undo = undo[:4096]
+		}
+		in := Record{
+			LSN: 1, Kind: Kind(kind%6 + 1), TxID: tx, Relation: rel,
+			Op: OpType(op), Key: key, Value: val, FlushID: fid,
+			KeyLo: lo, KeyHi: hi, NodeID: node,
+		}
+		if len(undo) > 0 {
+			in.UndoInfo = undo
+		}
+		wire := in.marshal(nil)
+		out, n, err := unmarshal(wire)
+		if err != nil || n != len(wire) {
+			return false
+		}
+		if out.Kind != in.Kind || out.TxID != in.TxID || out.Relation != in.Relation ||
+			out.Op != in.Op || out.Key != in.Key || out.Value != in.Value ||
+			out.FlushID != in.FlushID || out.KeyLo != in.KeyLo || out.KeyHi != in.KeyHi ||
+			out.NodeID != in.NodeID || len(out.UndoInfo) != len(in.UndoInfo) {
+			return false
+		}
+		for i := range in.UndoInfo {
+			if out.UndoInfo[i] != in.UndoInfo[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptCRCDetected(t *testing.T) {
+	r := Record{LSN: 1, Kind: KindCommit}
+	wire := r.marshal(nil)
+	wire[9] ^= 0xFF // flip a body byte
+	if _, _, err := unmarshal(wire); err == nil {
+		t.Fatal("corrupt record accepted")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	r := Record{LSN: 1, Kind: KindCommit}
+	wire := r.marshal(nil)
+	if _, _, err := unmarshal(wire[:5]); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+	if _, _, err := unmarshal(nil); err == nil {
+		t.Fatal("empty buffer accepted")
+	}
+}
+
+func TestNewLogValidation(t *testing.T) {
+	dev := flashsim.MustDevice(flashsim.P300())
+	f, _ := ssdio.NewSpace(dev).Create("w2", 4096)
+	if _, err := NewLog(f, 0); err == nil {
+		t.Fatal("zero page size accepted")
+	}
+}

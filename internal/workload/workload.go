@@ -1,0 +1,337 @@
+// Package workload generates the operation streams of the paper's
+// Section 4 evaluation: uniform and zipfian synthetic workloads with
+// configurable insert/search ratios (Section 4.1), and a TPC-C-shaped
+// index trace reproducing the statistics the paper reports for its
+// Postgres trace (Section 4.2: 8 index relations; 71.5% point search,
+// 23.8% insert, 3.7% range search, 1% delete; higher temporal and spatial
+// locality than the synthetic workloads).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/kv"
+)
+
+// OpKind enumerates index operations in a trace.
+type OpKind uint8
+
+const (
+	// OpSearch is a point search.
+	OpSearch OpKind = iota
+	// OpInsert inserts a fresh record.
+	OpInsert
+	// OpDelete deletes a (probably existing) key.
+	OpDelete
+	// OpUpdate rewrites an existing key's pointer.
+	OpUpdate
+	// OpRange is a range search of Span keys.
+	OpRange
+)
+
+// String names the op.
+func (k OpKind) String() string {
+	switch k {
+	case OpSearch:
+		return "search"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpUpdate:
+		return "update"
+	case OpRange:
+		return "range"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// Op is one trace operation. Relation selects the index (always 0 for
+// synthetic workloads).
+type Op struct {
+	Kind     OpKind
+	Relation int
+	Rec      kv.Record
+	Span     uint64 // key-range width for OpRange
+}
+
+// InitialKeys returns n distinct keys, uniformly spread with gaps so
+// later inserts land between existing keys (the paper bulk-loads 1G
+// entries then inserts fresh keys). Keys are odd multiples of stride.
+func InitialKeys(n int, seed int64) []kv.Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]kv.Record, n)
+	for i := range recs {
+		recs[i] = kv.Record{Key: uint64(i)*16 + 8, Value: rng.Uint64()}
+	}
+	return recs
+}
+
+// Mixed generates ops operations with the given insert ratio (the rest
+// are point searches), the Section 4.1.4 workload family. Searches target
+// loaded keys; inserts use fresh keys between existing ones.
+func Mixed(ops int, insertRatio float64, loaded []kv.Record, seed int64) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Op, 0, ops)
+	nextFresh := make(map[uint64]uint64) // base -> next offset (1..15)
+	for i := 0; i < ops; i++ {
+		if rng.Float64() < insertRatio {
+			base := uint64(rng.Intn(len(loaded)))
+			// Offsets 0..15 except 8 (the loaded-key slot).
+			off := nextFresh[base] % 15
+			if off >= 8 {
+				off++
+			}
+			nextFresh[base]++
+			out = append(out, Op{
+				Kind: OpInsert,
+				Rec:  kv.Record{Key: base*16 + off, Value: rng.Uint64()},
+			})
+		} else {
+			r := loaded[rng.Intn(len(loaded))]
+			out = append(out, Op{Kind: OpSearch, Rec: r})
+		}
+	}
+	return out
+}
+
+// InsertOnly generates n fresh-key inserts (Section 4.1.3's update-only
+// workload; the paper reports inserts since deletes/updates behave the
+// same).
+func InsertOnly(n int, loaded []kv.Record, seed int64) []Op {
+	return Mixed(n, 1.0, loaded, seed)
+}
+
+// SearchOnly generates n point searches over loaded keys (Section 4.1.1).
+func SearchOnly(n int, loaded []kv.Record, seed int64) []Op {
+	return Mixed(n, 0.0, loaded, seed)
+}
+
+// Zipf generates a zipfian point-search workload (locality knob used by
+// extension experiments).
+func Zipf(n int, loaded []kv.Record, s float64, seed int64) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(len(loaded)-1))
+	out := make([]Op, n)
+	for i := range out {
+		out[i] = Op{Kind: OpSearch, Rec: loaded[z.Uint64()]}
+	}
+	return out
+}
+
+// TPCCConfig shapes the TPC-C-like index trace.
+type TPCCConfig struct {
+	// Relations is the number of index relations (paper: 8).
+	Relations int
+	// Warehouses scales the key space hot-spotting (paper: 100).
+	Warehouses int
+	// Ops is the trace length (paper: 10M; scale down as needed).
+	Ops int
+	// Seed fixes the generator.
+	Seed int64
+	// Mix overrides the default op mix when non-zero; fractions of
+	// search/insert/range/delete must sum to 1.
+	SearchFrac, InsertFrac, RangeFrac, DeleteFrac float64
+}
+
+func (c *TPCCConfig) defaults() TPCCConfig {
+	d := *c
+	if d.Relations <= 0 {
+		d.Relations = 8
+	}
+	if d.Warehouses <= 0 {
+		d.Warehouses = 100
+	}
+	if d.SearchFrac == 0 && d.InsertFrac == 0 && d.RangeFrac == 0 && d.DeleteFrac == 0 {
+		// The paper's measured trace mix.
+		d.SearchFrac, d.InsertFrac, d.RangeFrac, d.DeleteFrac = 0.715, 0.238, 0.037, 0.010
+	}
+	return d
+}
+
+// TPCCTrace generates the index trace plus the per-relation initial keys
+// to bulk load. The trace exhibits temporal locality (recent keys are
+// re-touched with high probability) and spatial locality (inserts are
+// ascending within a hot warehouse region), matching the paper's
+// description of the Postgres/TPC-C trace.
+func TPCCTrace(cfg TPCCConfig, initialPerRelation int) (trace []Op, initial [][]kv.Record) {
+	c := cfg.defaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	initial = make([][]kv.Record, c.Relations)
+	nextKey := make([]uint64, c.Relations)
+	for r := range initial {
+		initial[r] = InitialKeys(initialPerRelation, c.Seed+int64(r))
+		nextKey[r] = uint64(initialPerRelation) * 16
+	}
+	// Recent-key windows provide temporal locality; the deleted sets keep
+	// deletes targeting live keys only (as TPC-C's delivery transaction
+	// deletes existing new-order rows).
+	recent := make([][]kv.Record, c.Relations)
+	deleted := make([]map[uint64]bool, c.Relations)
+	for r := range deleted {
+		deleted[r] = make(map[uint64]bool)
+	}
+	hotWarehouse := rng.Intn(c.Warehouses)
+	trace = make([]Op, 0, c.Ops)
+	for i := 0; i < c.Ops; i++ {
+		// Hot warehouse drifts slowly (clients rotate).
+		if rng.Float64() < 0.0005 {
+			hotWarehouse = rng.Intn(c.Warehouses)
+		}
+		rel := relationFor(rng, c.Relations)
+		x := rng.Float64()
+		switch {
+		case x < c.SearchFrac:
+			trace = append(trace, Op{Kind: OpSearch, Relation: rel, Rec: pickKey(rng, recent[rel], initial[rel], hotWarehouse, c.Warehouses)})
+		case x < c.SearchFrac+c.InsertFrac:
+			// Ascending keys within the relation: order lines, history.
+			k := nextKey[rel]
+			nextKey[rel] += uint64(rng.Intn(16) + 1)
+			rec := kv.Record{Key: k, Value: rng.Uint64()}
+			trace = append(trace, Op{Kind: OpInsert, Relation: rel, Rec: rec})
+			recent[rel] = append(recent[rel], rec)
+			if len(recent[rel]) > 4096 {
+				recent[rel] = recent[rel][len(recent[rel])-4096:]
+			}
+		case x < c.SearchFrac+c.InsertFrac+c.RangeFrac:
+			span := uint64(1 << (4 + rng.Intn(8))) // 16..2048 key units
+			trace = append(trace, Op{Kind: OpRange, Relation: rel, Rec: pickKey(rng, recent[rel], initial[rel], hotWarehouse, c.Warehouses), Span: span * 16})
+		default:
+			// Delete a live key: retry a few picks past already-deleted
+			// keys, degrading to a point search when unlucky.
+			var rec kv.Record
+			ok := false
+			for try := 0; try < 4; try++ {
+				rec = pickKey(rng, recent[rel], initial[rel], hotWarehouse, c.Warehouses)
+				if !deleted[rel][rec.Key] {
+					ok = true
+					break
+				}
+			}
+			if ok {
+				deleted[rel][rec.Key] = true
+				trace = append(trace, Op{Kind: OpDelete, Relation: rel, Rec: rec})
+			} else {
+				trace = append(trace, Op{Kind: OpSearch, Relation: rel, Rec: rec})
+			}
+		}
+	}
+	return trace, initial
+}
+
+// relationFor skews accesses across relations (order-line and stock
+// indexes absorb most traffic in TPC-C).
+func relationFor(rng *rand.Rand, n int) int {
+	x := rng.Float64()
+	// Geometric-ish skew: relation 0 ~35%, 1 ~20%, ...
+	cum := 0.0
+	w := 0.35
+	for r := 0; r < n-1; r++ {
+		cum += w
+		if x < cum {
+			return r
+		}
+		w *= 0.65
+	}
+	return n - 1
+}
+
+// pickKey draws a key with temporal locality (recently inserted keys) and
+// spatial locality (hot warehouse region of the initial keys).
+func pickKey(rng *rand.Rand, recent, initial []kv.Record, hotWH, warehouses int) kv.Record {
+	if len(recent) > 0 && rng.Float64() < 0.4 {
+		return recent[len(recent)-1-rng.Intn(min(len(recent), 512))]
+	}
+	if rng.Float64() < 0.6 {
+		// Hot warehouse region.
+		per := len(initial) / warehouses
+		if per < 1 {
+			per = 1
+		}
+		base := hotWH * per
+		idx := base + rng.Intn(per)
+		if idx >= len(initial) {
+			idx = len(initial) - 1
+		}
+		return initial[idx]
+	}
+	return initial[rng.Intn(len(initial))]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Stats summarizes a trace's op mix for validation.
+type Stats struct {
+	Search, Insert, Delete, Update, Range int
+}
+
+// Measure counts ops by kind.
+func Measure(trace []Op) Stats {
+	var s Stats
+	for _, op := range trace {
+		switch op.Kind {
+		case OpSearch:
+			s.Search++
+		case OpInsert:
+			s.Insert++
+		case OpDelete:
+			s.Delete++
+		case OpUpdate:
+			s.Update++
+		case OpRange:
+			s.Range++
+		}
+	}
+	return s
+}
+
+// Frac returns the fraction of total ops that k represents.
+func (s Stats) Frac(k OpKind) float64 {
+	total := s.Search + s.Insert + s.Delete + s.Update + s.Range
+	if total == 0 {
+		return 0
+	}
+	var n int
+	switch k {
+	case OpSearch:
+		n = s.Search
+	case OpInsert:
+		n = s.Insert
+	case OpDelete:
+		n = s.Delete
+	case OpUpdate:
+		n = s.Update
+	case OpRange:
+		n = s.Range
+	}
+	return float64(n) / float64(total)
+}
+
+// Locality measures a trace's temporal locality as the fraction of
+// non-insert ops whose key was touched within the previous w ops; the
+// paper notes the TPC-C trace "showed higher temporal and spatial
+// localities of index operations than synthetic workloads".
+func Locality(trace []Op, w int) float64 {
+	seen := make(map[uint64]int)
+	hits, total := 0, 0
+	for i, op := range trace {
+		if op.Kind != OpInsert {
+			total++
+			if last, ok := seen[op.Rec.Key]; ok && i-last <= w {
+				hits++
+			}
+		}
+		seen[op.Rec.Key] = i
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOpKindString(t *testing.T) {
+	kinds := []OpKind{OpSearch, OpInsert, OpDelete, OpUpdate, OpRange, OpKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty name for kind %d", k)
+		}
+	}
+}
+
+func TestInitialKeysDistinctSorted(t *testing.T) {
+	recs := InitialKeys(10000, 1)
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].Key >= recs[i].Key {
+			t.Fatalf("keys not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestMixedRatio(t *testing.T) {
+	loaded := InitialKeys(1000, 1)
+	for _, ratio := range []float64{0.1, 0.5, 0.9} {
+		ops := Mixed(20000, ratio, loaded, 7)
+		st := Measure(ops)
+		got := st.Frac(OpInsert)
+		if math.Abs(got-ratio) > 0.02 {
+			t.Errorf("insert frac %.3f, want %.2f", got, ratio)
+		}
+		if st.Search+st.Insert != len(ops) {
+			t.Errorf("unexpected op kinds in mixed workload")
+		}
+	}
+}
+
+func TestMixedInsertKeysAreFresh(t *testing.T) {
+	loaded := InitialKeys(1000, 1)
+	have := map[uint64]bool{}
+	for _, r := range loaded {
+		have[r.Key] = true
+	}
+	ops := Mixed(5000, 1.0, loaded, 3)
+	seen := map[uint64]int{}
+	for _, op := range ops {
+		if have[op.Rec.Key] {
+			t.Fatalf("insert key %d collides with loaded key", op.Rec.Key)
+		}
+		seen[op.Rec.Key]++
+	}
+	// Fresh keys may repeat only after cycling 15 offsets.
+	for k, n := range seen {
+		if n > 2 {
+			t.Fatalf("insert key %d generated %d times", k, n)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	loaded := InitialKeys(100, 1)
+	a := Mixed(1000, 0.5, loaded, 9)
+	b := Mixed(1000, 0.5, loaded, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+	c := Mixed(1000, 0.5, loaded, 10)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	loaded := InitialKeys(10000, 1)
+	ops := Zipf(20000, loaded, 1.2, 5)
+	counts := map[uint64]int{}
+	for _, op := range ops {
+		counts[op.Rec.Key]++
+	}
+	// The hottest key should be much hotter than the median.
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 100 {
+		t.Fatalf("zipf not skewed: max count %d", max)
+	}
+}
+
+func TestTPCCTraceMixMatchesPaper(t *testing.T) {
+	trace, initial := TPCCTrace(TPCCConfig{Ops: 50000, Seed: 3}, 5000)
+	if len(initial) != 8 {
+		t.Fatalf("relations = %d, want 8", len(initial))
+	}
+	st := Measure(trace)
+	checks := []struct {
+		kind OpKind
+		want float64
+	}{
+		{OpSearch, 0.715}, {OpInsert, 0.238}, {OpRange, 0.037}, {OpDelete, 0.010},
+	}
+	for _, c := range checks {
+		got := st.Frac(c.kind)
+		if math.Abs(got-c.want) > 0.01 {
+			t.Errorf("%v frac %.3f, want %.3f", c.kind, got, c.want)
+		}
+	}
+}
+
+func TestTPCCTraceHigherLocalityThanUniform(t *testing.T) {
+	trace, _ := TPCCTrace(TPCCConfig{Ops: 20000, Seed: 3}, 5000)
+	loaded := InitialKeys(5000*8, 1)
+	uniform := Mixed(20000, 0.238, loaded, 3)
+	locT := Locality(trace, 1000)
+	locU := Locality(uniform, 1000)
+	if locT <= locU {
+		t.Fatalf("TPC-C locality %.3f not above uniform %.3f", locT, locU)
+	}
+}
+
+func TestTPCCInsertsAscendPerRelation(t *testing.T) {
+	trace, _ := TPCCTrace(TPCCConfig{Ops: 20000, Seed: 4}, 1000)
+	last := map[int]uint64{}
+	for _, op := range trace {
+		if op.Kind != OpInsert {
+			continue
+		}
+		if prev, ok := last[op.Relation]; ok && op.Rec.Key <= prev {
+			t.Fatalf("relation %d insert keys not ascending: %d after %d", op.Relation, op.Rec.Key, prev)
+		}
+		last[op.Relation] = op.Rec.Key
+	}
+}
+
+func TestMeasureAndFrac(t *testing.T) {
+	ops := []Op{{Kind: OpSearch}, {Kind: OpInsert}, {Kind: OpUpdate}, {Kind: OpRange}, {Kind: OpDelete}}
+	st := Measure(ops)
+	if st.Search != 1 || st.Insert != 1 || st.Update != 1 || st.Range != 1 || st.Delete != 1 {
+		t.Fatalf("measure wrong: %+v", st)
+	}
+	if st.Frac(OpSearch) != 0.2 {
+		t.Fatalf("frac wrong: %f", st.Frac(OpSearch))
+	}
+	var empty Stats
+	if empty.Frac(OpSearch) != 0 {
+		t.Fatal("empty frac not 0")
+	}
+}

@@ -1,0 +1,263 @@
+// Package pio is the public façade of this reproduction of "B+-tree Index
+// Optimization by Exploiting Internal Parallelism of Flash-based Solid
+// State Drives" (Roh, Park, Kim, Shin, Lee — PVLDB 5(4), 2011).
+//
+// It exposes:
+//
+//   - the PIO B-tree (the paper's contribution): batched multi-path
+//     search, parallel range search, Operation-Queue-buffered updates with
+//     psync batch flushes, asymmetric append-only leaves, WAL-based crash
+//     recovery, and eq.-(10) self-tuning;
+//   - the simulated flash SSD substrate the evaluation runs on (device
+//     profiles fitted to the paper's six drives);
+//   - the comparison indexes (B+-tree, BFTL, FD-tree, B-link tree) behind
+//     the same interface.
+//
+// All operations are timed in simulated ticks: every method takes the
+// caller's current virtual time and returns the completion time, so
+// experiments are deterministic and hardware-independent. Use Clock for
+// convenience when a single timeline suffices.
+//
+// Quick start:
+//
+//	dev := pio.NewDevice(pio.P300)
+//	idx, err := pio.Open(dev, pio.DefaultOptions())
+//	...
+//	done, err := idx.Insert(now, pio.Record{Key: 42, Value: 1000})
+//	v, ok, done, err := idx.Search(done, 42)
+package pio
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/flashsim"
+	"repro/internal/kv"
+	"repro/internal/pagefile"
+	"repro/internal/ssdio"
+	"repro/internal/vtime"
+	"repro/internal/wal"
+)
+
+// Ticks is simulated time in nanoseconds.
+type Ticks = vtime.Ticks
+
+// Record is an index record: a key and a data-page pointer.
+type Record = kv.Record
+
+// Key and Value alias the record components.
+type (
+	Key   = kv.Key
+	Value = kv.Value
+)
+
+// Profile selects a simulated SSD model.
+type Profile string
+
+// The six device profiles benchmarked in the paper.
+const (
+	Iodrive Profile = "iodrive"
+	P300    Profile = "p300"
+	F120    Profile = "f120"
+	X25E    Profile = "x25e"
+	X25M    Profile = "x25m"
+	Vertex2 Profile = "vertex2"
+)
+
+// Device is a simulated flash SSD plus a file space on it.
+type Device struct {
+	dev    *flashsim.Device
+	space  *ssdio.Space
+	nextID int
+}
+
+// NewDevice creates a fresh simulated SSD of the given profile. Unknown
+// profiles panic (they are compile-time constants in practice); use
+// NewDeviceNamed for dynamic names.
+func NewDevice(p Profile) *Device {
+	d, err := NewDeviceNamed(string(p))
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// NewDeviceNamed creates a device from a profile name.
+func NewDeviceNamed(name string) (*Device, error) {
+	cfg, err := flashsim.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := flashsim.NewDevice(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{dev: dev, space: ssdio.NewSpace(dev)}, nil
+}
+
+// Stats returns device-level counters.
+func (d *Device) Stats() flashsim.Stats { return d.dev.Stats() }
+
+// Options configure a PIO B-tree index.
+type Options struct {
+	// PageSize is the internal node / leaf segment size in bytes.
+	PageSize int
+	// LeafSegs is L, the leaf size in segments.
+	LeafSegs int
+	// OPQPages is O, the Operation Queue budget in pages.
+	OPQPages int
+	// PioMax bounds requests per psync call.
+	PioMax int
+	// SPeriod is the OPQ sort period.
+	SPeriod int
+	// BCnt bounds entries per batch-update flush (<= 0: whole queue).
+	BCnt int
+	// BufferBytes is the internal-node buffer pool budget.
+	BufferBytes int
+	// WAL enables write-ahead logging and crash recovery.
+	WAL bool
+	// CapacityHint sizes the backing file (bytes); default 64MB.
+	CapacityHint int64
+}
+
+// DefaultOptions mirror the paper's Section 4.1 setup at repository scale.
+func DefaultOptions() Options {
+	return Options{
+		PageSize:    2048,
+		LeafSegs:    4,
+		OPQPages:    4,
+		PioMax:      64,
+		SPeriod:     5000,
+		BCnt:        5000,
+		BufferBytes: 64 * 1024,
+	}
+}
+
+// Index is a PIO B-tree on a simulated SSD.
+type Index struct {
+	tree *core.Tree
+	log  *wal.Log
+	opts Options
+}
+
+// Open creates a fresh PIO B-tree on dev.
+func Open(dev *Device, opts Options) (*Index, error) {
+	if opts.PageSize == 0 {
+		opts = DefaultOptions()
+	}
+	cap := opts.CapacityHint
+	if cap <= 0 {
+		cap = 64 << 20
+	}
+	dev.nextID++
+	f, err := dev.space.Create(fmt.Sprintf("pio-%d", dev.nextID), cap)
+	if err != nil {
+		return nil, err
+	}
+	pf, err := pagefile.New(f, opts.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := core.New(pf, core.Config{
+		PageSize:    opts.PageSize,
+		LeafSegs:    opts.LeafSegs,
+		OPQPages:    opts.OPQPages,
+		PioMax:      opts.PioMax,
+		SPeriod:     opts.SPeriod,
+		BCnt:        opts.BCnt,
+		BufferBytes: opts.BufferBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{tree: tree, opts: opts}
+	if opts.WAL {
+		wf, err := dev.space.Create(fmt.Sprintf("pio-wal-%d", dev.nextID), 16<<20)
+		if err != nil {
+			return nil, err
+		}
+		idx.log, err = wal.NewLog(wf, opts.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		tree.AttachWAL(idx.log)
+	}
+	return idx, nil
+}
+
+// BulkLoad populates an empty index from key-sorted records without
+// simulated cost (initial load).
+func (ix *Index) BulkLoad(recs []Record) error { return ix.tree.BulkLoad(recs) }
+
+// Insert buffers an index-insert; completion is immediate unless the OPQ
+// fills and a batch update runs.
+func (ix *Index) Insert(at Ticks, r Record) (Ticks, error) { return ix.tree.Insert(at, r) }
+
+// Delete buffers an index-delete.
+func (ix *Index) Delete(at Ticks, k Key) (Ticks, error) { return ix.tree.Delete(at, k) }
+
+// Update buffers an index-update (pointer replacement).
+func (ix *Index) Update(at Ticks, r Record) (Ticks, error) { return ix.tree.Update(at, r) }
+
+// Search performs a point search (OPQ first, then the tree).
+func (ix *Index) Search(at Ticks, k Key) (Value, bool, Ticks, error) {
+	return ix.tree.Search(at, k)
+}
+
+// SearchMany resolves a batch of keys with MPSearch (one psync call per
+// tree level).
+func (ix *Index) SearchMany(at Ticks, keys []Key) (map[Key]Value, Ticks, error) {
+	return ix.tree.SearchMany(at, keys)
+}
+
+// RangeSearch runs the parallel range search over [lo, hi).
+func (ix *Index) RangeSearch(at Ticks, lo, hi Key) ([]Record, Ticks, error) {
+	return ix.tree.RangeSearch(at, lo, hi)
+}
+
+// Flush forces one batch update of up to BCnt queued operations.
+func (ix *Index) Flush(at Ticks) (Ticks, error) { return ix.tree.FlushBatch(at, ix.opts.BCnt) }
+
+// Checkpoint flushes the whole OPQ (and logs a checkpoint when WAL is on).
+func (ix *Index) Checkpoint(at Ticks) (Ticks, error) { return ix.tree.Checkpoint(at) }
+
+// Count returns the number of live records.
+func (ix *Index) Count() int64 { return ix.tree.Count() }
+
+// Height returns the tree height in levels.
+func (ix *Index) Height() int { return ix.tree.Height() }
+
+// Pending returns the number of buffered update operations in the OPQ.
+func (ix *Index) Pending() int { return ix.tree.OPQLen() }
+
+// Stats returns PIO B-tree counters (flushes, psync calls, splits...).
+func (ix *Index) Stats() core.Stats { return ix.tree.Stats() }
+
+// CheckInvariants validates the on-disk structure (testing/debugging).
+func (ix *Index) CheckInvariants() error { return ix.tree.CheckInvariants() }
+
+// Crash simulates a crash (volatile state lost; device contents remain).
+// Only meaningful with WAL enabled; follow with Recover.
+func (ix *Index) Crash() { ix.tree.CrashVolatileState() }
+
+// Recover replays the WAL per the paper's Section 3.4 and returns a
+// report of undone flushes and redone entries.
+func (ix *Index) Recover(at Ticks) (core.RecoveryReport, Ticks, error) {
+	return ix.tree.Recover(at)
+}
+
+// Concurrent wraps the index for simulated multi-threaded use.
+func (ix *Index) Concurrent() *core.Concurrent { return core.NewConcurrent(ix.tree) }
+
+// Clock is a convenience single timeline for applications that do not
+// track virtual time themselves.
+type Clock struct{ now Ticks }
+
+// Now returns the clock's current simulated time.
+func (c *Clock) Now() Ticks { return c.now }
+
+// Advance moves the clock to t if later.
+func (c *Clock) Advance(t Ticks) { c.now = vtime.Max(c.now, t) }
+
+// Elapsed converts the clock to seconds of simulated time.
+func (c *Clock) Elapsed() float64 { return c.now.Seconds() }
