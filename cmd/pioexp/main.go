@@ -21,14 +21,16 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (or 'all')")
-		list  = flag.Bool("list", false, "list experiment ids")
-		n     = flag.Int("n", 0, "initial entries (default: scale preset)")
-		ops   = flag.Int("ops", 0, "operations per run (default: scale preset)")
-		mem   = flag.Int("mem", 0, "memory budget bytes (default: scale preset)")
-		seed  = flag.Int64("seed", 42, "workload seed")
-		quick = flag.Bool("quick", false, "use the quick (smoke-test) scale")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		exp     = flag.String("exp", "", "experiment id (or 'all')")
+		list    = flag.Bool("list", false, "list experiment ids")
+		n       = flag.Int("n", 0, "initial entries (default: scale preset)")
+		ops     = flag.Int("ops", 0, "operations per run (default: scale preset)")
+		mem     = flag.Int("mem", 0, "memory budget bytes (default: scale preset)")
+		seed    = flag.Int64("seed", 42, "workload seed")
+		quick   = flag.Bool("quick", false, "use the quick (smoke-test) scale")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		shards  = flag.Int("shards", 0, "forest shard count (default: sweep a preset ladder)")
+		threads = flag.Int("threads", 0, "simulated threads for concurrency experiments (default: preset)")
 	)
 	flag.Parse()
 
@@ -52,6 +54,12 @@ func main() {
 		s.MemBytes = *mem
 	}
 	s.Seed = *seed
+	if *shards > 0 {
+		s.Shards = *shards
+	}
+	if *threads > 0 {
+		s.Threads = *threads
+	}
 
 	ids := []string{*exp}
 	if *exp == "all" {

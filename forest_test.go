@@ -1,0 +1,151 @@
+package pio
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestForestFacadeFlow(t *testing.T) {
+	dev := NewDevice(Iodrive)
+	fr, err := OpenForest(dev, DefaultForestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Shards() != 4 {
+		t.Fatalf("shards %d", fr.Shards())
+	}
+	recs := make([]Record, 3000)
+	for i := range recs {
+		recs[i] = Record{Key: Key(i * 4), Value: Value(i)}
+	}
+	if err := fr.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	var clock Clock
+	for i := uint64(0); i < 5000; i++ {
+		done, err := fr.Insert(clock.Now(), Record{Key: 100000 + i*2 + 1, Value: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(done)
+	}
+	v, ok, done, err := fr.Search(clock.Now(), 4000)
+	if err != nil || !ok || v != 1000 {
+		t.Fatalf("Search: %v %v %v", v, ok, err)
+	}
+	clock.Advance(done)
+	rs, done, err := fr.RangeSearch(clock.Now(), 400, 800)
+	if err != nil || len(rs) != 100 {
+		t.Fatalf("Range: %d %v", len(rs), err)
+	}
+	clock.Advance(done)
+	got, done, err := fr.SearchMany(clock.Now(), []Key{0, 4, 8, 7777777})
+	if err != nil || len(got) != 3 {
+		t.Fatalf("SearchMany: %v %v", got, err)
+	}
+	clock.Advance(done)
+	done, err = fr.Checkpoint(clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Pending() != 0 {
+		t.Fatalf("pending %d after checkpoint", fr.Pending())
+	}
+	if fr.Count() != 8000 {
+		t.Fatalf("count %d", fr.Count())
+	}
+	if err := fr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	st := fr.Stats()
+	if st.Shards != 4 || st.Tree.Flushes == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	_ = done
+}
+
+func TestForestFacadeGoroutines(t *testing.T) {
+	dev := NewDevice(P300)
+	opts := DefaultForestOptions()
+	opts.Shards = 3
+	opts.OPQPages = 3
+	fr, err := OpenForest(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var clock Clock
+			base := Key(w) * 1_000_000
+			for i := uint64(0); i < 500; i++ {
+				done, err := fr.Insert(clock.Now(), Record{Key: base + Key(i), Value: i})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				clock.Advance(done)
+				if i%5 == 0 {
+					_, _, done, err := fr.Search(clock.Now(), base+Key(i))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					clock.Advance(done)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if fr.Count() != 6*500 {
+		t.Fatalf("count %d, want %d", fr.Count(), 6*500)
+	}
+	if err := fr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestRangePartition(t *testing.T) {
+	dev := NewDevice(F120)
+	opts := DefaultForestOptions()
+	opts.Shards = 2
+	opts.RangeBounds = []Key{1000}
+	fr, err := OpenForest(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clock Clock
+	for i := uint64(0); i < 2000; i++ {
+		done, err := fr.Insert(clock.Now(), Record{Key: Key(i), Value: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(done)
+	}
+	rs, _, err := fr.RangeSearch(clock.Now(), 990, 1010)
+	if err != nil || len(rs) != 20 {
+		t.Fatalf("cross-boundary range: %d %v", len(rs), err)
+	}
+	if err := fr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Bad bounds length rejected.
+	bad := DefaultForestOptions()
+	bad.Shards = 3
+	bad.RangeBounds = []Key{1}
+	if _, err := OpenForest(dev, bad); err == nil {
+		t.Fatal("accepted wrong bounds length")
+	}
+	// WAL rejected.
+	w := DefaultForestOptions()
+	w.WAL = true
+	if _, err := OpenForest(dev, w); err == nil {
+		t.Fatal("accepted WAL forest")
+	}
+	// ... also when the rest of the options are left to default.
+	if _, err := OpenForest(dev, ForestOptions{Options: Options{WAL: true}}); err == nil {
+		t.Fatal("accepted WAL forest via zero-value options")
+	}
+}

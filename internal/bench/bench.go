@@ -88,6 +88,12 @@ type Scale struct {
 	MemBytes int
 	// Seed fixes workload generation.
 	Seed int64
+	// Shards fixes the forest shard count for the shard-scaling
+	// experiment; 0 sweeps a preset ladder.
+	Shards int
+	// Threads fixes the simulated thread count for concurrency
+	// experiments that accept it; 0 uses each experiment's preset.
+	Threads int
 }
 
 // DefaultScale keeps the paper's N/M ratio (1e9·16B data : 16MB buffer ≈

@@ -22,7 +22,7 @@ func TestTableRendering(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	want := []string{"fig2", "fig3", "fig3c", "fig4", "fig4c", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "tune", "ablation"}
+	want := []string{"fig2", "fig3", "fig3c", "fig4", "fig4c", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "tune", "ablation", "forest"}
 	have := map[string]bool{}
 	for _, id := range ids {
 		have[id] = true
@@ -314,6 +314,37 @@ func TestTuneProducesValidParams(t *testing.T) {
 		o := parse(t, row[3])
 		if l < 1 || l > 16 || o < 1 {
 			t.Errorf("tuned params out of range: L=%v O=%v", l, o)
+		}
+	}
+}
+
+func TestForestScalingShape(t *testing.T) {
+	tabs, err := ForestScaling(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range tabs {
+		base := parse(t, tab.Rows[0][2]) // concurrent elapsed
+		oneShard := parse(t, tab.Rows[1][2])
+		if oneShard != base {
+			t.Errorf("%s: single-shard forest %.3fs != concurrent %.3fs", tab.ID, oneShard, base)
+		}
+		// Some multi-shard configuration must beat the whole-index lock,
+		// and at least one must have merged flushes into gang submissions.
+		improved, merged := false, false
+		for _, row := range tab.Rows[2:] {
+			if parse(t, row[2]) < base {
+				improved = true
+			}
+			if parse(t, row[5]) > 0 {
+				merged = true
+			}
+		}
+		if !improved {
+			t.Errorf("%s: no shard count improved on the concurrent baseline", tab.ID)
+		}
+		if !merged {
+			t.Errorf("%s: no gang submissions at any shard count", tab.ID)
 		}
 	}
 }

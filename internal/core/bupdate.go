@@ -30,10 +30,19 @@ func (t *Tree) psyncReadPages(at vtime.Ticks, ids []pagefile.PageID, bufs [][]by
 }
 
 // psyncWritePages writes the given pages in one psync call (or serially
-// under the ablation).
+// under the ablation). When the tree flushes as part of a forest group,
+// the writes are deferred into the group's shared gang instead.
 func (t *Tree) psyncWritePages(at vtime.Ticks, ids []pagefile.PageID, bufs [][]byte) (vtime.Ticks, error) {
 	if len(ids) == 0 {
 		return at, nil
+	}
+	if t.gang != nil && !t.cfg.DisablePsync {
+		runs := make([]pagefile.RunReq, len(ids))
+		for i, id := range ids {
+			runs[i] = pagefile.RunReq{First: id, N: 1, Buf: bufs[i], Write: true}
+		}
+		t.stats.GangedWrites++
+		return at, t.gang.add(t.pf, runs)
 	}
 	t.stats.PsyncWrites++
 	if t.cfg.DisablePsync {
@@ -219,10 +228,16 @@ func (t *Tree) psyncReadRuns(at vtime.Ticks, ids []pagefile.PageID, upto []int, 
 	return t.pf.PsyncRuns(at, reqs)
 }
 
-// psyncWriteRuns is the write counterpart of psyncReadRuns.
+// psyncWriteRuns is the write counterpart of psyncReadRuns. Forest group
+// flushes defer the runs into the shared gang (one merged submission at
+// the end of the group) instead of submitting here.
 func (t *Tree) psyncWriteRuns(at vtime.Ticks, reqs []pagefile.RunReq) (vtime.Ticks, error) {
 	if len(reqs) == 0 {
 		return at, nil
+	}
+	if t.gang != nil && !t.cfg.DisablePsync {
+		t.stats.GangedWrites++
+		return at, t.gang.add(t.pf, reqs)
 	}
 	t.stats.PsyncWrites++
 	var err error

@@ -17,12 +17,15 @@ import (
 //
 // Two locking planes exist:
 //
-//   - real sync.RWMutex locking so the wrapper is actually safe for
-//     concurrent goroutine use;
-//   - a vtime.Mutex reflecting the same critical sections in virtual time,
-//     so the deterministic thread scheduler observes contention.
+//   - a real sync.Mutex making the wrapper safe for concurrent goroutine
+//     use. It is plain mutual exclusion — Tree mutates shared state
+//     (stats, buffer-pool LRU, LSMap counters) on every path including
+//     searches, so even readers must serialize in real time;
+//   - a vtime.Mutex pair reflecting the paper's critical sections in
+//     virtual time (readers share the index, flushes exclude everyone),
+//     which is what the experiments measure.
 type Concurrent struct {
-	mu   sync.RWMutex
+	mu   sync.Mutex
 	tree *Tree
 
 	// vlock models the index-exclusive lock in virtual time.
@@ -34,19 +37,29 @@ type Concurrent struct {
 // NewConcurrent wraps tree.
 func NewConcurrent(tree *Tree) *Concurrent { return &Concurrent{tree: tree} }
 
-// Tree returns the wrapped tree (callers must not use it concurrently).
-func (c *Concurrent) Tree() *Tree { return c.tree }
+// Tree returns the wrapped tree. The caller must ensure no concurrent
+// operations are in flight before using it (e.g. after joining all
+// workers); acquiring the wrapper lock here establishes the
+// happens-before edge with every completed operation.
+func (c *Concurrent) Tree() *Tree {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree
+}
 
-// VLockStats reports (waits, waited-ticks) on the virtual index lock.
+// VLockStats reports (waits, waited-ticks) on the virtual index lock. It
+// is safe to poll mid-workload.
 func (c *Concurrent) VLockStats() (int64, vtime.Ticks) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.vlock.Waits, c.vlock.Contended
 }
 
-// Search performs a concurrent point search. Readers share the index; a
-// flush in progress (virtual lock held) delays them in virtual time.
+// Search performs a concurrent point search. Readers share the index in
+// virtual time; a flush in progress (virtual lock held) delays them.
 func (c *Concurrent) Search(at vtime.Ticks, k kv.Key) (kv.Value, bool, vtime.Ticks, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	// Readers do not take the virtual exclusive lock, but they cannot
 	// start below the lock's horizon while a flush holds it.
 	start := vtime.Max(at, c.vlock.FreeAt())
@@ -55,8 +68,8 @@ func (c *Concurrent) Search(at vtime.Ticks, k kv.Key) (kv.Value, bool, vtime.Tic
 
 // RangeSearch performs a concurrent prange search.
 func (c *Concurrent) RangeSearch(at vtime.Ticks, lo, hi kv.Key) ([]kv.Record, vtime.Ticks, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	start := vtime.Max(at, c.vlock.FreeAt())
 	return c.tree.RangeSearch(start, lo, hi)
 }

@@ -1,0 +1,608 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kv"
+	"repro/internal/pagefile"
+	"repro/internal/ssdio"
+	"repro/internal/vtime"
+)
+
+// Partitioner assigns keys to the shards of a Forest.
+type Partitioner interface {
+	// Shards returns the number of partitions.
+	Shards() int
+	// Shard returns the shard index owning key k.
+	Shard(k kv.Key) int
+	// RangeShards returns the ascending shard indexes that may hold keys
+	// in [lo, hi).
+	RangeShards(lo, hi kv.Key) []int
+}
+
+// mix64 is the splitmix64 finalizer, a cheap full-avalanche hash used to
+// spread keys uniformly across shards.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HashPartitioner spreads keys across N shards with a 64-bit mix. Range
+// searches touch every shard.
+type HashPartitioner struct{ N int }
+
+// Shards returns N.
+func (h HashPartitioner) Shards() int { return h.N }
+
+// Shard hashes k into [0, N).
+func (h HashPartitioner) Shard(k kv.Key) int { return int(mix64(k) % uint64(h.N)) }
+
+// RangeShards returns every shard: a hash partition cannot prune ranges.
+func (h HashPartitioner) RangeShards(lo, hi kv.Key) []int {
+	out := make([]int, h.N)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// RangePartitioner splits the key space at ascending boundary keys: shard
+// i covers [Bounds[i-1], Bounds[i]) with open outer edges, so range
+// searches touch only the overlapping shards.
+type RangePartitioner struct{ Bounds []kv.Key }
+
+// Shards returns len(Bounds)+1.
+func (r RangePartitioner) Shards() int { return len(r.Bounds) + 1 }
+
+// Shard binary-searches the boundary list.
+func (r RangePartitioner) Shard(k kv.Key) int {
+	return sort.Search(len(r.Bounds), func(i int) bool { return k < r.Bounds[i] })
+}
+
+// RangeShards returns the shards overlapping [lo, hi).
+func (r RangePartitioner) RangeShards(lo, hi kv.Key) []int {
+	if hi <= lo {
+		return nil
+	}
+	first := r.Shard(lo)
+	last := r.Shard(hi - 1)
+	out := make([]int, 0, last-first+1)
+	for i := first; i <= last; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// writeGang accumulates the deferred psync writes of one forest group
+// flush, per page file in first-use order (kept deterministic), so the
+// coordinator can concatenate every member's batch writes into a single
+// psync submission.
+type writeGang struct {
+	order []*pagefile.PageFile
+	reqs  map[*pagefile.PageFile][]ssdio.Req
+}
+
+func newWriteGang() *writeGang {
+	return &writeGang{reqs: make(map[*pagefile.PageFile][]ssdio.Req)}
+}
+
+// add defers the given write runs of pf into the gang.
+func (g *writeGang) add(pf *pagefile.PageFile, runs []pagefile.RunReq) error {
+	rs, err := pf.GatherRuns(runs)
+	if err != nil {
+		return err
+	}
+	if _, ok := g.reqs[pf]; !ok {
+		g.order = append(g.order, pf)
+	}
+	g.reqs[pf] = append(g.reqs[pf], rs...)
+	return nil
+}
+
+// submit issues every collected write as one cross-file psync call and
+// returns its completion time.
+func (g *writeGang) submit(at vtime.Ticks) (vtime.Ticks, error) {
+	if len(g.order) == 0 {
+		return at, nil
+	}
+	batches := make([]ssdio.GangBatch, len(g.order))
+	for i, pf := range g.order {
+		batches[i] = ssdio.GangBatch{F: pf.File(), Reqs: g.reqs[pf]}
+	}
+	return ssdio.PsyncGang(at, batches)
+}
+
+// ForestConfig parameterizes a sharded PIO forest.
+type ForestConfig struct {
+	// Partitioner routes keys to shards; nil defaults to a HashPartitioner
+	// over the number of page files passed to NewForest.
+	Partitioner Partitioner
+	// RipeFraction is the OPQ fill ratio at which a shard joins a group
+	// flush triggered by another shard (0 < f <= 1; default 0.5). Lower
+	// values merge more aggressively.
+	RipeFraction float64
+	// Shard is the per-shard tree configuration, except that OPQPages and
+	// BufferBytes are GLOBAL budgets which the forest splits evenly across
+	// shards (each shard keeps at least one OPQ page / one buffer frame),
+	// extending the eq.-(10) tuning to the sharded setting.
+	Shard Config
+}
+
+// forestShard pairs one PIO B-tree with its two locking planes: the real
+// mutex makes the unsynchronized Tree safe for goroutine use (plain
+// mutual exclusion — the simulator executes one operation at a time), and
+// the virtual locks model the paper's concurrency scheme per shard
+// (searches share the index; an OPQ flush excludes everything, but now
+// only within its own shard).
+type forestShard struct {
+	mu    sync.Mutex
+	tree  *Tree
+	vlock vtime.Mutex // per-shard index-exclusive lock (flushes)
+	vopq  vtime.Mutex // per-shard OPQ append/sort lock
+}
+
+// ripe reports whether the shard's OPQ is filled to the given fraction.
+// Caller holds s.mu.
+func (s *forestShard) ripe(frac float64) bool {
+	n := s.tree.opq.Len()
+	min := int(frac * float64(s.tree.opq.Cap()))
+	if min < 1 {
+		min = 1
+	}
+	return n >= min
+}
+
+// Forest is a sharded PIO B-tree: keys are partitioned across independent
+// trees, each with its own OPQ and pagefile region, replacing the single
+// whole-index exclusive flush lock with per-shard locks. A flush on one
+// shard no longer blocks searches on any other. When several shards'
+// OPQs are ripe at flush time, the coordinator flushes them as a group
+// starting at the same virtual instant and concatenates their batch
+// writes into a single psync submission — a second level of the paper's
+// eq.-(10) batching that keeps the device's channels saturated.
+//
+// All methods are safe for concurrent goroutine use.
+type Forest struct {
+	part     Partitioner
+	shards   []*forestShard
+	ripeFrac float64
+
+	groupFlushes  atomic.Int64
+	groupedShards atomic.Int64
+	gangSubmits   atomic.Int64
+}
+
+// ForestStats aggregates shard counters and coordinator activity.
+type ForestStats struct {
+	// Shards is the partition count.
+	Shards int
+	// Tree sums the per-shard tree counters.
+	Tree Stats
+	// GroupFlushes counts coordinator invocations, GroupedShards the
+	// shards they flushed (GroupedShards/GroupFlushes = mean group size).
+	GroupFlushes  int64
+	GroupedShards int64
+	// GangSubmits counts merged cross-shard psync submissions.
+	GangSubmits int64
+	// VLockWaits / VLockContended sum the per-shard virtual index-lock
+	// contention.
+	VLockWaits     int64
+	VLockContended vtime.Ticks
+	// Pending is the total number of OPQ-buffered operations.
+	Pending int
+}
+
+// NewForest builds a forest of len(pfs) shards, one tree per page file.
+// The page files must live on files of one ssdio.Space (one device) for
+// group flushes to merge their submissions. cfg.Shard.OPQPages and
+// cfg.Shard.BufferBytes are global budgets split evenly across shards.
+func NewForest(pfs []*pagefile.PageFile, cfg ForestConfig) (*Forest, error) {
+	n := len(pfs)
+	if n < 1 {
+		return nil, fmt.Errorf("core: forest needs at least one shard")
+	}
+	if cfg.Shard.PageSize <= 0 {
+		return nil, fmt.Errorf("core: forest shard config needs a positive PageSize, got %d", cfg.Shard.PageSize)
+	}
+	part := cfg.Partitioner
+	if part == nil {
+		part = HashPartitioner{N: n}
+	}
+	if part.Shards() != n {
+		return nil, fmt.Errorf("core: partitioner has %d shards, %d page files given", part.Shards(), n)
+	}
+	if rp, ok := part.(RangePartitioner); ok {
+		for i := 1; i < len(rp.Bounds); i++ {
+			if rp.Bounds[i-1] >= rp.Bounds[i] {
+				return nil, fmt.Errorf("core: range partitioner bounds not ascending at %d", i)
+			}
+		}
+	}
+	ripe := cfg.RipeFraction
+	if ripe <= 0 || ripe > 1 {
+		ripe = 0.5
+	}
+	shardCfg := cfg.Shard
+	shardCfg.OPQPages = splitBudget(cfg.Shard.OPQPages, n)
+	shardCfg.BufferBytes = splitBudget(cfg.Shard.BufferBytes/cfg.Shard.PageSize, n) * cfg.Shard.PageSize
+	f := &Forest{part: part, ripeFrac: ripe}
+	for i, pf := range pfs {
+		c := shardCfg
+		c.Relation = cfg.Shard.Relation + uint32(i)
+		tr, err := New(pf, c)
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", i, err)
+		}
+		f.shards = append(f.shards, &forestShard{tree: tr})
+	}
+	return f, nil
+}
+
+// splitBudget divides a global page budget across n shards, keeping at
+// least one page per shard.
+func splitBudget(global, n int) int {
+	per := global / n
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// ShardCount returns the number of shards.
+func (f *Forest) ShardCount() int { return len(f.shards) }
+
+// ShardTree returns shard i's tree for inspection. The caller must ensure
+// no concurrent forest use (testing/validation only).
+func (f *Forest) ShardTree(i int) *Tree {
+	s := f.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree
+}
+
+// BulkLoad partitions key-sorted records across the shards and bulk-loads
+// each (initial setup, no simulated cost).
+func (f *Forest) BulkLoad(recs []kv.Record) error {
+	parts := make([][]kv.Record, len(f.shards))
+	for _, r := range recs {
+		si := f.part.Shard(r.Key)
+		parts[si] = append(parts[si], r)
+	}
+	for i, s := range f.shards {
+		s.mu.Lock()
+		err := s.tree.BulkLoad(parts[i])
+		s.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("core: forest shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Search performs a point search on the owning shard. In virtual time,
+// readers share the shard but cannot start below its flush lock horizon;
+// flushes on other shards do not delay them at all.
+func (f *Forest) Search(at vtime.Ticks, k kv.Key) (kv.Value, bool, vtime.Ticks, error) {
+	s := f.shards[f.part.Shard(k)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := vtime.Max(at, s.vlock.FreeAt())
+	return s.tree.Search(start, k)
+}
+
+// SearchMany partitions the keys across shards and runs one MPSearch per
+// involved shard, all starting at the caller's time (the shard descents
+// proceed in parallel in virtual time); the result is the merged map and
+// the latest completion.
+func (f *Forest) SearchMany(at vtime.Ticks, keys []kv.Key) (map[kv.Key]kv.Value, vtime.Ticks, error) {
+	byShard := make(map[int][]kv.Key)
+	for _, k := range keys {
+		si := f.part.Shard(k)
+		byShard[si] = append(byShard[si], k)
+	}
+	out := make(map[kv.Key]kv.Value, len(keys))
+	done := at
+	for si := 0; si < len(f.shards); si++ {
+		ks, ok := byShard[si]
+		if !ok {
+			continue
+		}
+		s := f.shards[si]
+		s.mu.Lock()
+		start := vtime.Max(at, s.vlock.FreeAt())
+		m, d, err := s.tree.SearchMany(start, ks)
+		s.mu.Unlock()
+		if err != nil {
+			return nil, d, err
+		}
+		for k, v := range m {
+			out[k] = v
+		}
+		done = vtime.Max(done, d)
+	}
+	return out, done, nil
+}
+
+// RangeSearch runs the parallel range search on every shard that may hold
+// [lo, hi) (all shards under hash partitioning, the overlapping ones
+// under range partitioning) and merges the results in key order.
+func (f *Forest) RangeSearch(at vtime.Ticks, lo, hi kv.Key) ([]kv.Record, vtime.Ticks, error) {
+	var recs []kv.Record
+	done := at
+	for _, si := range f.part.RangeShards(lo, hi) {
+		s := f.shards[si]
+		s.mu.Lock()
+		start := vtime.Max(at, s.vlock.FreeAt())
+		rs, d, err := s.tree.RangeSearch(start, lo, hi)
+		s.mu.Unlock()
+		if err != nil {
+			return nil, d, err
+		}
+		recs = append(recs, rs...)
+		done = vtime.Max(done, d)
+	}
+	kv.SortRecords(recs)
+	return recs, done, nil
+}
+
+// Insert buffers an index-insert on the owning shard; a full shard OPQ
+// triggers a group flush.
+func (f *Forest) Insert(at vtime.Ticks, r kv.Record) (vtime.Ticks, error) {
+	return f.update(at, kv.Entry{Rec: r, Op: kv.OpInsert})
+}
+
+// Delete buffers an index-delete.
+func (f *Forest) Delete(at vtime.Ticks, k kv.Key) (vtime.Ticks, error) {
+	return f.update(at, kv.Entry{Rec: kv.Record{Key: k}, Op: kv.OpDelete})
+}
+
+// Update buffers an index-update.
+func (f *Forest) Update(at vtime.Ticks, r kv.Record) (vtime.Ticks, error) {
+	return f.update(at, kv.Entry{Rec: r, Op: kv.OpUpdate})
+}
+
+func (f *Forest) update(at vtime.Ticks, e kv.Entry) (vtime.Ticks, error) {
+	si := f.part.Shard(e.Rec.Key)
+	s := f.shards[si]
+	for {
+		s.mu.Lock()
+		if !s.tree.opq.Full() {
+			break
+		}
+		s.mu.Unlock()
+		done, err := f.flushGroup(at, si)
+		if err != nil {
+			return done, err
+		}
+		at = done
+	}
+	// The short per-shard OPQ lock covers the append (and the occasional
+	// periodic sort inside it), as in the single-tree scheme.
+	start := s.vopq.Acquire(at)
+	var done vtime.Ticks
+	var err error
+	switch e.Op {
+	case kv.OpInsert:
+		done, err = s.tree.Insert(start, e.Rec)
+	case kv.OpDelete:
+		done, err = s.tree.Delete(start, e.Rec.Key)
+	default:
+		done, err = s.tree.Update(start, e.Rec)
+	}
+	s.vopq.Release(done)
+	s.mu.Unlock()
+	return done, err
+}
+
+// flushGroup is the cross-shard flush coordinator. It collects the
+// triggering shard plus every other shard whose OPQ is ripe, flushes them
+// all starting at the same virtual instant (their reads contend on the
+// shared device's channel timelines exactly as truly parallel flushes
+// would), and submits every member's batch writes as ONE concatenated
+// psync call. Each member's virtual flush lock is held from the group
+// start to the merged-write completion, so only member shards' readers
+// are delayed.
+func (f *Forest) flushGroup(at vtime.Ticks, trigger int) (vtime.Ticks, error) {
+	// Lock candidates in ascending shard order (deadlock-free against
+	// concurrent group flushes).
+	var group []*forestShard
+	for i, s := range f.shards {
+		s.mu.Lock()
+		keep := false
+		if i == trigger {
+			keep = s.tree.opq.Len() > 0
+		} else {
+			keep = s.ripe(f.ripeFrac)
+		}
+		if keep {
+			group = append(group, s)
+		} else {
+			s.mu.Unlock()
+		}
+	}
+	if len(group) == 0 {
+		// A racing group flush already drained the trigger shard.
+		return at, nil
+	}
+	f.groupFlushes.Add(1)
+	f.groupedShards.Add(int64(len(group)))
+
+	unlock := func() {
+		for _, s := range group {
+			s.mu.Unlock()
+		}
+	}
+
+	if len(group) == 1 {
+		// Single member: flush exactly like the single-tree scheme (no
+		// gang), so a one-shard forest reproduces Concurrent's timings.
+		s := group[0]
+		start := s.vlock.Acquire(at)
+		done, err := s.tree.FlushBatch(start, s.tree.cfg.BCnt)
+		s.vlock.Release(done)
+		unlock()
+		return done, err
+	}
+
+	gang := newWriteGang()
+	front := at
+	var flushErr error
+	acquired := 0
+	for _, s := range group {
+		start := s.vlock.Acquire(at)
+		acquired++
+		s.tree.gang = gang
+		done, err := s.tree.FlushBatch(start, s.tree.cfg.BCnt)
+		s.tree.gang = nil
+		front = vtime.Max(front, done)
+		if err != nil {
+			// Stop starting new flushes, but still submit the gang below:
+			// members that already flushed have drained their OPQs and
+			// updated their in-memory state, so their deferred writes must
+			// reach the device.
+			flushErr = err
+			break
+		}
+	}
+	done, err := gang.submit(front)
+	if flushErr == nil {
+		flushErr = err
+	}
+	f.gangSubmits.Add(1)
+	// Only members whose flush actually started hold the virtual lock.
+	for _, s := range group[:acquired] {
+		s.vlock.Release(done)
+	}
+	unlock()
+	return done, flushErr
+}
+
+// Flush forces a group flush seeded by the fullest shard (no-op when the
+// whole forest is empty).
+func (f *Forest) Flush(at vtime.Ticks) (vtime.Ticks, error) {
+	best, bestLen := -1, 0
+	for i, s := range f.shards {
+		s.mu.Lock()
+		n := s.tree.opq.Len()
+		s.mu.Unlock()
+		if n > bestLen {
+			best, bestLen = i, n
+		}
+	}
+	if best < 0 {
+		return at, nil
+	}
+	return f.flushGroup(at, best)
+}
+
+// Checkpoint drains every shard's OPQ. The per-shard checkpoints start at
+// the caller's time and proceed in parallel in virtual time.
+func (f *Forest) Checkpoint(at vtime.Ticks) (vtime.Ticks, error) {
+	done := at
+	for _, s := range f.shards {
+		s.mu.Lock()
+		start := s.vlock.Acquire(at)
+		d, err := s.tree.Checkpoint(start)
+		s.vlock.Release(d)
+		s.mu.Unlock()
+		if err != nil {
+			return d, err
+		}
+		done = vtime.Max(done, d)
+	}
+	return done, nil
+}
+
+// Count returns the number of live records across all shards.
+func (f *Forest) Count() int64 {
+	var n int64
+	for _, s := range f.shards {
+		s.mu.Lock()
+		n += s.tree.Count()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Height returns the tallest shard height.
+func (f *Forest) Height() int {
+	h := 0
+	for _, s := range f.shards {
+		s.mu.Lock()
+		if sh := s.tree.Height(); sh > h {
+			h = sh
+		}
+		s.mu.Unlock()
+	}
+	return h
+}
+
+// Pending returns the total number of OPQ-buffered operations.
+func (f *Forest) Pending() int {
+	n := 0
+	for _, s := range f.shards {
+		s.mu.Lock()
+		n += s.tree.OPQLen()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats aggregates shard tree counters and coordinator activity.
+func (f *Forest) Stats() ForestStats {
+	out := ForestStats{
+		Shards:        len(f.shards),
+		GroupFlushes:  f.groupFlushes.Load(),
+		GroupedShards: f.groupedShards.Load(),
+		GangSubmits:   f.gangSubmits.Load(),
+	}
+	for _, s := range f.shards {
+		s.mu.Lock()
+		st := s.tree.Stats()
+		out.Tree.Flushes += st.Flushes
+		out.Tree.Shrinks += st.Shrinks
+		out.Tree.LeafSplits += st.LeafSplits
+		out.Tree.LeafAppends += st.LeafAppends
+		out.Tree.PsyncReads += st.PsyncReads
+		out.Tree.PsyncWrites += st.PsyncWrites
+		out.Tree.GangedWrites += st.GangedWrites
+		out.Tree.SearchOps += st.SearchOps
+		out.Tree.UpdateOps += st.UpdateOps
+		out.Tree.RangeOps += st.RangeOps
+		out.Tree.OPQShortcuts += st.OPQShortcuts
+		out.VLockWaits += s.vlock.Waits
+		out.VLockContended += s.vlock.Contended
+		out.Pending += s.tree.OPQLen()
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// CheckInvariants validates every shard's on-disk structure and that each
+// shard holds only keys the partitioner routes to it.
+func (f *Forest) CheckInvariants() error {
+	for i, s := range f.shards {
+		s.mu.Lock()
+		err := s.tree.CheckInvariants()
+		if err == nil {
+			for _, e := range s.tree.opq.Entries() {
+				if f.part.Shard(e.Rec.Key) != i {
+					err = fmt.Errorf("core: forest shard %d queues foreign key %d", i, e.Rec.Key)
+					break
+				}
+			}
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -93,6 +93,12 @@ type Tree struct {
 	log     *wal.Log // optional
 	flushID uint64
 
+	// gang, when non-nil, collects this tree's psync writes during a
+	// forest group flush so the coordinator can submit every member's
+	// writes as one cross-file psync call. Set only while the owning
+	// forest shard is exclusively locked.
+	gang *writeGang
+
 	stats           Stats
 	buf             []byte // page scratch
 	pendingInternal []pendingPage
@@ -106,6 +112,7 @@ type Stats struct {
 	LeafAppends  int64
 	PsyncReads   int64 // psync read calls
 	PsyncWrites  int64
+	GangedWrites int64 // write batches deferred into a forest gang
 	SearchOps    int64
 	UpdateOps    int64
 	RangeOps     int64

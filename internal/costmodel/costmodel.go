@@ -221,6 +221,44 @@ func TuneLeafOPQ(p TreeParams, d *DeviceParams, bcnt float64, maxL, maxO int) (T
 	return best, nil
 }
 
+// ForestTuneResult is the eq.-(10) optimum extended to a sharded forest.
+type ForestTuneResult struct {
+	// Shards is the partition count the tuning was run for.
+	Shards int
+	// PerShard holds L_opt and the per-shard O_opt.
+	PerShard TuneResult
+	// GlobalO is the total OPQ page budget across the forest
+	// (PerShard.O * Shards), the number handed to core.ForestConfig.
+	GlobalO int
+}
+
+// TuneForest extends the eq.-(10) arg-min to a forest of identical
+// shards: each shard indexes N/shards entries with M/shards buffer pages,
+// so the per-shard optimum is the eq.-(10) search at the reduced scale,
+// and the global OPQ budget is the per-shard optimum times the shard
+// count. maxO bounds the GLOBAL budget; the per-shard sweep is bounded by
+// maxO/shards (at least one page per shard).
+func TuneForest(p TreeParams, d *DeviceParams, bcnt float64, maxL, maxO, shards int) (ForestTuneResult, error) {
+	if shards < 1 {
+		return ForestTuneResult{}, fmt.Errorf("costmodel: shards must be >= 1, got %d", shards)
+	}
+	q := p
+	q.N = p.N / float64(shards)
+	q.M = p.M / float64(shards)
+	if q.M < 1 {
+		q.M = 1
+	}
+	perShardO := maxO / shards
+	if perShardO < 1 {
+		perShardO = 1
+	}
+	res, err := TuneLeafOPQ(q, d, bcnt, maxL, perShardO)
+	if err != nil {
+		return ForestTuneResult{}, err
+	}
+	return ForestTuneResult{Shards: shards, PerShard: res, GlobalO: res.O * shards}, nil
+}
+
 // TuneNodeSize picks the B+-tree node size (in pages) minimizing the
 // buffered cost (the utility/cost method extended to SSDs, Section 3.2.1):
 // the candidate sizes are 1..maxPages (powers of two); entriesPerPage

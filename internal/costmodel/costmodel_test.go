@@ -176,3 +176,37 @@ func TestTuneNodeSize(t *testing.T) {
 		t.Fatal("invalid maxPages accepted")
 	}
 }
+
+func TestTuneForest(t *testing.T) {
+	d := testParams()
+	base := TreeParams{N: 1e6, F: 120, U: 0.7, M: 64, Ri: 0.5, Rs: 0.5, OPQEntriesPerPage: 120}
+	single, err := TuneForest(base, d, 5000, 16, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := TuneLeafOPQ(base, d, 5000, 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One shard must reduce to the plain eq.-(10) optimum.
+	if single.PerShard != ref || single.GlobalO != ref.O {
+		t.Fatalf("single-shard forest tune %+v != eq.10 %+v", single, ref)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		res, err := TuneForest(base, d, 5000, 16, 32, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PerShard.O < 1 || res.PerShard.L < 1 {
+			t.Fatalf("%d shards: degenerate per-shard params %+v", shards, res)
+		}
+		// The global budget stays within the sweep bound and every shard
+		// keeps at least one page.
+		if res.GlobalO < shards || res.GlobalO > 32 {
+			t.Fatalf("%d shards: global OPQ budget %d out of range", shards, res.GlobalO)
+		}
+	}
+	if _, err := TuneForest(base, d, 5000, 16, 32, 0); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+}

@@ -193,20 +193,33 @@ func (p *PageFile) PsyncRuns(at vtime.Ticks, runs []RunReq) (vtime.Ticks, error)
 	if len(runs) == 0 {
 		return at, nil
 	}
+	reqs, err := p.GatherRuns(runs)
+	if err != nil {
+		return at, err
+	}
+	return p.f.Psync(at, reqs)
+}
+
+// GatherRuns validates a batch of run requests and converts them to ssdio
+// requests without submitting, so a coordinator can concatenate the
+// batches of several page files into one cross-file psync submission
+// (ssdio.PsyncGang). The data is neither read nor written until the gang
+// is submitted.
+func (p *PageFile) GatherRuns(runs []RunReq) ([]ssdio.Req, error) {
 	reqs := make([]ssdio.Req, len(runs))
 	for i, r := range runs {
 		if r.N <= 0 {
-			return at, fmt.Errorf("pagefile: run %d has %d pages", i, r.N)
+			return nil, fmt.Errorf("pagefile: run %d has %d pages", i, r.N)
 		}
 		off, err := p.check(r.First)
 		if err != nil {
-			return at, err
+			return nil, err
 		}
 		if _, err := p.check(r.First + PageID(r.N) - 1); err != nil {
-			return at, err
+			return nil, err
 		}
 		if len(r.Buf) != r.N*p.pageSize {
-			return at, fmt.Errorf("pagefile: run %d buffer %d bytes, want %d", i, len(r.Buf), r.N*p.pageSize)
+			return nil, fmt.Errorf("pagefile: run %d buffer %d bytes, want %d", i, len(r.Buf), r.N*p.pageSize)
 		}
 		op := flashsim.Read
 		if r.Write {
@@ -214,7 +227,7 @@ func (p *PageFile) PsyncRuns(at vtime.Ticks, runs []RunReq) (vtime.Ticks, error)
 		}
 		reqs[i] = ssdio.Req{Op: op, Off: off, Buf: r.Buf}
 	}
-	return p.f.Psync(at, reqs)
+	return reqs, nil
 }
 
 // ReadPageNoCost fetches page contents without simulated time, for

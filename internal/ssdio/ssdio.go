@@ -237,6 +237,82 @@ func (f *File) Psync(at vtime.Ticks, reqs []Req) (vtime.Ticks, error) {
 	return done, nil
 }
 
+// GangBatch pairs one file with the requests it contributes to a
+// cross-file psync submission (see PsyncGang).
+type GangBatch struct {
+	F    *File
+	Reqs []Req
+}
+
+// PsyncGang submits the requests of several files of one Space as a
+// single psync call: one blocking submission, outstanding level equal to
+// the total request count. This is the second level of the paper's
+// batching — independent flush batches (e.g. one per index shard) are
+// concatenated so the device sees one large request array and keeps every
+// channel busy, instead of draining the batches one blocking call at a
+// time. All files must belong to the same Space.
+func PsyncGang(at vtime.Ticks, batches []GangBatch) (vtime.Ticks, error) {
+	var total int
+	for _, b := range batches {
+		total += len(b.Reqs)
+	}
+	if total == 0 {
+		return at, nil
+	}
+	// Validate every batch before touching any file contents, so a bad
+	// request leaves the whole gang un-applied (all-or-nothing).
+	devReqs := make([]flashsim.Request, 0, total)
+	var space *Space
+	for _, b := range batches {
+		f := b.F
+		if len(b.Reqs) == 0 {
+			continue
+		}
+		if space == nil {
+			space = f.space
+		} else if f.space != space {
+			return at, fmt.Errorf("ssdio: psync gang spans spaces (%q)", f.name)
+		}
+		f.mu.Lock()
+		for _, r := range b.Reqs {
+			if err := f.checkRange(r); err != nil {
+				f.mu.Unlock()
+				return at, err
+			}
+			devReqs = append(devReqs, flashsim.Request{Op: r.Op, Offset: f.base + r.Off, Size: len(r.Buf)})
+		}
+		f.mu.Unlock()
+	}
+	for _, b := range batches {
+		if len(b.Reqs) == 0 {
+			continue
+		}
+		b.F.mu.Lock()
+		for _, r := range b.Reqs {
+			b.F.apply(r)
+		}
+		b.F.stats.PsyncReqs += int64(len(b.Reqs))
+		b.F.mu.Unlock()
+	}
+
+	_, done := space.dev.Submit(at, devReqs)
+
+	// The gang is one blocking call from one submitter; charge the
+	// call-level counters to the first contributing file.
+	for _, b := range batches {
+		if len(b.Reqs) == 0 {
+			continue
+		}
+		b.F.mu.Lock()
+		b.F.stats.PsyncCalls++
+		b.F.stats.CtxSwitches += 2
+		b.F.stats.IOTime += done - at
+		b.F.mu.Unlock()
+		break
+	}
+	return done, nil
+}
+
 // Sync submits one blocking request at virtual time at. Synchronous writes
 // serialize on the file's write-ordering lock, reproducing the POSIX
 // behaviour that prevents parallel processing from exploiting internal

@@ -249,6 +249,160 @@ func (ix *Index) Recover(at Ticks) (core.RecoveryReport, Ticks, error) {
 // Concurrent wraps the index for simulated multi-threaded use.
 func (ix *Index) Concurrent() *core.Concurrent { return core.NewConcurrent(ix.tree) }
 
+// ForestOptions configure a sharded PIO forest (OpenForest).
+type ForestOptions struct {
+	// Options are the per-tree knobs; OPQPages and BufferBytes are GLOBAL
+	// budgets that the forest splits evenly across shards. WAL is not yet
+	// supported for forests.
+	Options
+	// Shards is the number of partitions (default 4).
+	Shards int
+	// RangeBounds, when non-nil, selects range partitioning with these
+	// ascending split keys (len must be Shards-1): shard i covers
+	// [RangeBounds[i-1], RangeBounds[i]). Nil hash-partitions the keys.
+	RangeBounds []Key
+	// RipeFraction is the OPQ fill ratio at which a shard joins a group
+	// flush triggered by another shard (default 0.5).
+	RipeFraction float64
+}
+
+// DefaultForestOptions are DefaultOptions spread over 4 shards, with the
+// global OPQ budget scaled so each shard keeps the single-tree queue
+// depth.
+func DefaultForestOptions() ForestOptions {
+	o := DefaultOptions()
+	o.OPQPages *= 4
+	return ForestOptions{Options: o, Shards: 4}
+}
+
+// Forest is a sharded PIO B-tree: keys are partitioned across independent
+// PIO trees on one device, each with its own Operation Queue and flush
+// lock, so a batch flush on one shard never stalls operations on the
+// others, and ripe shards flush together through a single concatenated
+// psync submission. Unlike Index, all Forest methods are safe for
+// concurrent goroutine use.
+type Forest struct {
+	f    *core.Forest
+	opts ForestOptions
+}
+
+// OpenForest creates a fresh sharded PIO forest on dev.
+func OpenForest(dev *Device, opts ForestOptions) (*Forest, error) {
+	if opts.WAL {
+		return nil, fmt.Errorf("pio: WAL is not yet supported for forests")
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = 4
+	}
+	if opts.PageSize == 0 {
+		// Only the tree knobs default; caller-set forest fields
+		// (RangeBounds, RipeFraction, Shards) are preserved. The global
+		// OPQ budget scales with the shard count so every shard keeps the
+		// single-tree queue depth.
+		opts.Options = DefaultOptions()
+		opts.OPQPages *= opts.Shards
+	}
+	var part core.Partitioner
+	if opts.RangeBounds != nil {
+		if len(opts.RangeBounds) != opts.Shards-1 {
+			return nil, fmt.Errorf("pio: %d range bounds for %d shards, want %d",
+				len(opts.RangeBounds), opts.Shards, opts.Shards-1)
+		}
+		part = core.RangePartitioner{Bounds: opts.RangeBounds}
+	}
+	cap := opts.CapacityHint
+	if cap <= 0 {
+		cap = 64 << 20
+	}
+	perShard := cap/int64(opts.Shards) + 1<<20
+	dev.nextID++
+	pfs := make([]*pagefile.PageFile, opts.Shards)
+	for i := range pfs {
+		f, err := dev.space.Create(fmt.Sprintf("pio-%d-shard-%d", dev.nextID, i), perShard)
+		if err != nil {
+			return nil, err
+		}
+		pfs[i], err = pagefile.New(f, opts.PageSize)
+		if err != nil {
+			return nil, err
+		}
+	}
+	fr, err := core.NewForest(pfs, core.ForestConfig{
+		Partitioner:  part,
+		RipeFraction: opts.RipeFraction,
+		Shard: core.Config{
+			PageSize:    opts.PageSize,
+			LeafSegs:    opts.LeafSegs,
+			OPQPages:    opts.OPQPages,
+			PioMax:      opts.PioMax,
+			SPeriod:     opts.SPeriod,
+			BCnt:        opts.BCnt,
+			BufferBytes: opts.BufferBytes,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Forest{f: fr, opts: opts}, nil
+}
+
+// BulkLoad populates an empty forest from key-sorted records without
+// simulated cost (initial load).
+func (fx *Forest) BulkLoad(recs []Record) error { return fx.f.BulkLoad(recs) }
+
+// Insert buffers an index-insert on the owning shard; a full shard OPQ
+// triggers a coordinated group flush.
+func (fx *Forest) Insert(at Ticks, r Record) (Ticks, error) { return fx.f.Insert(at, r) }
+
+// Delete buffers an index-delete.
+func (fx *Forest) Delete(at Ticks, k Key) (Ticks, error) { return fx.f.Delete(at, k) }
+
+// Update buffers an index-update.
+func (fx *Forest) Update(at Ticks, r Record) (Ticks, error) { return fx.f.Update(at, r) }
+
+// Search performs a point search on the owning shard; flushes on other
+// shards do not delay it.
+func (fx *Forest) Search(at Ticks, k Key) (Value, bool, Ticks, error) {
+	return fx.f.Search(at, k)
+}
+
+// SearchMany resolves a batch of keys with one MPSearch per involved
+// shard, all descending in parallel in virtual time.
+func (fx *Forest) SearchMany(at Ticks, keys []Key) (map[Key]Value, Ticks, error) {
+	return fx.f.SearchMany(at, keys)
+}
+
+// RangeSearch merges the parallel range search over every shard that may
+// hold [lo, hi).
+func (fx *Forest) RangeSearch(at Ticks, lo, hi Key) ([]Record, Ticks, error) {
+	return fx.f.RangeSearch(at, lo, hi)
+}
+
+// Flush forces one coordinated group flush seeded by the fullest shard.
+func (fx *Forest) Flush(at Ticks) (Ticks, error) { return fx.f.Flush(at) }
+
+// Checkpoint drains every shard's OPQ.
+func (fx *Forest) Checkpoint(at Ticks) (Ticks, error) { return fx.f.Checkpoint(at) }
+
+// Count returns the number of live records across all shards.
+func (fx *Forest) Count() int64 { return fx.f.Count() }
+
+// Height returns the tallest shard height.
+func (fx *Forest) Height() int { return fx.f.Height() }
+
+// Pending returns the total number of OPQ-buffered operations.
+func (fx *Forest) Pending() int { return fx.f.Pending() }
+
+// Shards returns the partition count.
+func (fx *Forest) Shards() int { return fx.f.ShardCount() }
+
+// Stats aggregates per-shard counters and flush-coordinator activity.
+func (fx *Forest) Stats() core.ForestStats { return fx.f.Stats() }
+
+// CheckInvariants validates every shard's on-disk structure and key
+// placement (testing/debugging).
+func (fx *Forest) CheckInvariants() error { return fx.f.CheckInvariants() }
+
 // Clock is a convenience single timeline for applications that do not
 // track virtual time themselves.
 type Clock struct{ now Ticks }
