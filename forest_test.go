@@ -138,14 +138,125 @@ func TestForestRangePartition(t *testing.T) {
 	if _, err := OpenForest(dev, bad); err == nil {
 		t.Fatal("accepted wrong bounds length")
 	}
-	// WAL rejected.
-	w := DefaultForestOptions()
-	w.WAL = true
-	if _, err := OpenForest(dev, w); err == nil {
-		t.Fatal("accepted WAL forest")
+	// Unsorted bounds rejected.
+	bad = DefaultForestOptions()
+	bad.Shards = 3
+	bad.RangeBounds = []Key{500, 100}
+	if _, err := OpenForest(dev, bad); err == nil {
+		t.Fatal("accepted unsorted bounds")
 	}
-	// ... also when the rest of the options are left to default.
-	if _, err := OpenForest(dev, ForestOptions{Options: Options{WAL: true}}); err == nil {
-		t.Fatal("accepted WAL forest via zero-value options")
+	// Duplicate bounds rejected.
+	bad = DefaultForestOptions()
+	bad.Shards = 3
+	bad.RangeBounds = []Key{500, 500}
+	if _, err := OpenForest(dev, bad); err == nil {
+		t.Fatal("accepted duplicate bounds")
+	}
+}
+
+// TestForestWALZeroValueOptions: requesting WAL with otherwise zero-value
+// options must not silently drop durability when the tree knobs default.
+func TestForestWALZeroValueOptions(t *testing.T) {
+	dev := NewDevice(P300)
+	fr, err := OpenForest(dev, ForestOptions{Options: Options{WAL: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clock Clock
+	for i := uint64(0); i < 200; i++ {
+		done, err := fr.Insert(clock.Now(), Record{Key: i, Value: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(done)
+	}
+	done, err := fr.Sync(clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(done)
+	fr.Crash()
+	rep, _, err := fr.Recover(clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.RedoneEntries != 200 {
+		t.Fatalf("redone %d, want 200 (WAL dropped by defaulting?)", rep.Total.RedoneEntries)
+	}
+	if got := fr.Count(); got != 200 {
+		t.Fatalf("count %d, want 200", got)
+	}
+}
+
+// TestForestWALCrashRecovery drives the façade's durability path: flushed
+// work, Sync-committed buffered work, and an uncommitted tail, then
+// Crash + Recover.
+func TestForestWALCrashRecovery(t *testing.T) {
+	dev := NewDevice(P300)
+	opts := DefaultForestOptions()
+	opts.WAL = true
+	fr, err := OpenForest(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clock Clock
+	insert := func(k Key) {
+		done, err := fr.Insert(clock.Now(), Record{Key: k, Value: uint64(k) + 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(done)
+	}
+	for i := 0; i < 1000; i++ {
+		insert(Key(i))
+	}
+	done, err := fr.Flush(clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(done)
+	for i := 1000; i < 1100; i++ {
+		insert(Key(i))
+	}
+	done, err = fr.Sync(clock.Now()) // commit the buffered tail
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(done)
+	for i := 1100; i < 1150; i++ {
+		insert(Key(i)) // uncommitted: lost at the crash
+	}
+
+	fr.Crash()
+	rep, done, err := fr.Recover(clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(done)
+	if rep.Total.RedoneEntries == 0 {
+		t.Fatalf("no entries redone: %+v", rep.Total)
+	}
+	for i := 0; i < 1150; i++ {
+		v, ok, d, err := fr.Search(clock.Now(), Key(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(d)
+		if i < 1100 && (!ok || v != uint64(i)+7) {
+			t.Fatalf("committed key %d lost: %v %v", i, v, ok)
+		}
+		if i >= 1100 && ok {
+			t.Fatalf("uncommitted key %d resurrected", i)
+		}
+	}
+	if got := fr.Count(); got != 1100 {
+		t.Fatalf("count %d, want 1100", got)
+	}
+	if err := fr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	st := fr.Stats()
+	if st.LogSubmits == 0 {
+		t.Fatal("no log submissions recorded")
 	}
 }

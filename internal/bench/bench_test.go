@@ -22,7 +22,7 @@ func TestTableRendering(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	want := []string{"fig2", "fig3", "fig3c", "fig4", "fig4c", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "tune", "ablation", "forest"}
+	want := []string{"fig2", "fig3", "fig3c", "fig4", "fig4c", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "tune", "ablation", "forest", "recovery"}
 	have := map[string]bool{}
 	for _, id := range ids {
 		have[id] = true
@@ -314,6 +314,42 @@ func TestTuneProducesValidParams(t *testing.T) {
 		o := parse(t, row[3])
 		if l < 1 || l > 16 || o < 1 {
 			t.Errorf("tuned params out of range: L=%v O=%v", l, o)
+		}
+	}
+}
+
+// TestRecoveryGangFewerSubmissions: at 4 shards the ganged group commit
+// must issue strictly fewer blocking log submissions than the per-shard
+// baseline, and recovery after the crash must redo the committed tail.
+func TestRecoveryGangFewerSubmissions(t *testing.T) {
+	s := microScale()
+	s.Shards = 4
+	tabs, err := RecoveryBench(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range tabs {
+		if len(tab.Rows) != 2 {
+			t.Fatalf("%s: %d rows, want ganged + per-shard", tab.ID, len(tab.Rows))
+		}
+		var ganged, baseline float64
+		for _, row := range tab.Rows {
+			switch row[0] {
+			case "ganged":
+				ganged = parse(t, row[3])
+				if parse(t, row[4]) == 0 {
+					t.Errorf("%s: ganged mode issued no ganged log forces", tab.ID)
+				}
+			case "per-shard":
+				baseline = parse(t, row[3])
+				if parse(t, row[4]) != 0 {
+					t.Errorf("%s: baseline issued ganged log forces", tab.ID)
+				}
+			}
+		}
+		if ganged >= baseline {
+			t.Errorf("%s: ganged log submissions %.0f not fewer than per-shard %.0f",
+				tab.ID, ganged, baseline)
 		}
 	}
 }

@@ -429,7 +429,7 @@ func (t *Tree) FlushBatch(at vtime.Ticks, bcnt int) (vtime.Ticks, error) {
 		})
 		// WAL rule: the flush-start record and all logical logs of the
 		// chosen entries must be durable before any node write.
-		at, err = t.log.Force(at)
+		at, err = t.forceWAL(at)
 		if err != nil {
 			return at, err
 		}
@@ -461,16 +461,25 @@ func (t *Tree) FlushBatch(at vtime.Ticks, bcnt int) (vtime.Ticks, error) {
 		}
 	}
 	if t.log != nil {
-		t.log.Append(wal.Record{
+		end := wal.Record{
 			Kind:     wal.KindFlushEnd,
 			Relation: t.cfg.Relation,
 			FlushID:  flushID,
 			KeyLo:    batch[0].Rec.Key,
 			KeyHi:    batch[len(batch)-1].Rec.Key,
-		})
-		at, err = t.log.Force(at)
-		if err != nil {
-			return at, err
+		}
+		if t.walGang != nil {
+			// Group commit: the FlushEnd must not become durable before the
+			// group's data writes, which are themselves deferred into the
+			// coordinator's gang. Hand the record to the coordinator, which
+			// appends and gang-forces it after the data submission.
+			t.walGang.deferEnd(t.log, end)
+		} else {
+			t.log.Append(end)
+			at, err = t.log.Force(at)
+			if err != nil {
+				return at, err
+			}
 		}
 	}
 	return at, nil
@@ -726,5 +735,5 @@ func (t *Tree) logUndoImages(at vtime.Ticks, pages []pendingPage) (vtime.Ticks, 
 			UndoInfo: pre,
 		})
 	}
-	return t.log.Force(at)
+	return t.forceWAL(at)
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/pagefile"
 	"repro/internal/ssdio"
 	"repro/internal/vtime"
+	"repro/internal/wal"
 )
 
 // Partitioner assigns keys to the shards of a Forest.
@@ -119,6 +120,42 @@ func (g *writeGang) submit(at vtime.Ticks) (vtime.Ticks, error) {
 	return ssdio.PsyncGang(at, batches)
 }
 
+// logGang accumulates the WAL work of one forest group flush: which
+// member logs need forcing (deduplicated, in first-registration order, so
+// one shared log multiplexed by Relation registers once) and the FlushEnd
+// records whose append must wait until the group's data writes are on the
+// device.
+type logGang struct {
+	order []*wal.Log
+	seen  map[*wal.Log]bool
+	ends  []deferredEnd
+}
+
+// deferredEnd is one member's FlushEnd record, held back by the group
+// commit until after the data gang submission.
+type deferredEnd struct {
+	log *wal.Log
+	rec wal.Record
+}
+
+func newLogGang() *logGang {
+	return &logGang{seen: make(map[*wal.Log]bool)}
+}
+
+// need registers l for the next ganged force.
+func (g *logGang) need(l *wal.Log) {
+	if !g.seen[l] {
+		g.seen[l] = true
+		g.order = append(g.order, l)
+	}
+}
+
+// deferEnd holds back a member's FlushEnd record for the commit force.
+func (g *logGang) deferEnd(l *wal.Log, r wal.Record) {
+	g.need(l)
+	g.ends = append(g.ends, deferredEnd{log: l, rec: r})
+}
+
 // ForestConfig parameterizes a sharded PIO forest.
 type ForestConfig struct {
 	// Partitioner routes keys to shards; nil defaults to a HashPartitioner
@@ -133,6 +170,18 @@ type ForestConfig struct {
 	// shards (each shard keeps at least one OPQ page / one buffer frame),
 	// extending the eq.-(10) tuning to the sharded setting.
 	Shard Config
+
+	// Logs enables write-ahead logging: nil disables it, a single log is
+	// shared by every shard (records multiplexed by Relation), and one log
+	// per page file gives each shard its own. All log files must live on
+	// the same ssdio.Space as the page files for group commit to gang
+	// their forces.
+	Logs []*wal.Log
+	// DisableLogGang makes every group-flush member force its own log
+	// serially (the per-shard baseline) instead of riding the coordinator's
+	// two-phase ganged force; used by the recovery bench as the comparison
+	// point.
+	DisableLogGang bool
 }
 
 // forestShard pairs one PIO B-tree with its two locking planes: the real
@@ -174,9 +223,41 @@ type Forest struct {
 	shards   []*forestShard
 	ripeFrac float64
 
-	groupFlushes  atomic.Int64
-	groupedShards atomic.Int64
-	gangSubmits   atomic.Int64
+	// logs are the distinct attached WALs (empty without logging);
+	// logGangEnabled selects ganged vs serial group-commit forces;
+	// sharedLog is true when a log serves more than one shard, in which
+	// case group flushes must hold every shard lock (appends to the shared
+	// log from non-member shards would otherwise race the ganged force).
+	logs           []*wal.Log
+	logGangEnabled bool
+	sharedLog      bool
+
+	groupFlushes   atomic.Int64
+	groupedShards  atomic.Int64
+	gangSubmits    atomic.Int64
+	logGangSubmits atomic.Int64
+
+	// damaged, once set, fails every mutating operation: a group commit
+	// failed after members already updated their in-memory state, so
+	// memory and disk no longer agree. Crash+Recover clears it. An atomic
+	// keeps the per-operation check off the shard-independence hot path.
+	damaged atomic.Pointer[error]
+}
+
+// setDamaged records the first unrecoverable group-commit failure.
+func (f *Forest) setDamaged(err error) {
+	if err == nil {
+		err = fmt.Errorf("core: group commit failed")
+	}
+	f.damaged.CompareAndSwap(nil, &err)
+}
+
+// checkDamaged rejects mutating operations on a damaged forest.
+func (f *Forest) checkDamaged() error {
+	if p := f.damaged.Load(); p != nil {
+		return fmt.Errorf("core: forest damaged by failed group commit (%w); Crash and Recover to restore consistency", *p)
+	}
+	return nil
 }
 
 // ForestStats aggregates shard counters and coordinator activity.
@@ -191,6 +272,12 @@ type ForestStats struct {
 	GroupedShards int64
 	// GangSubmits counts merged cross-shard psync submissions.
 	GangSubmits int64
+	// LogGangSubmits counts ganged (group-commit) log-force submissions;
+	// LogForceWrites counts per-log serial Force submissions; LogSubmits is
+	// their sum — the total number of blocking log-plane submissions.
+	LogGangSubmits int64
+	LogForceWrites int64
+	LogSubmits     int64
 	// VLockWaits / VLockContended sum the per-shard virtual index-lock
 	// contention.
 	VLockWaits     int64
@@ -215,14 +302,15 @@ func NewForest(pfs []*pagefile.PageFile, cfg ForestConfig) (*Forest, error) {
 	if part == nil {
 		part = HashPartitioner{N: n}
 	}
-	if part.Shards() != n {
-		return nil, fmt.Errorf("core: partitioner has %d shards, %d page files given", part.Shards(), n)
+	if err := ValidatePartitioner(part, n); err != nil {
+		return nil, err
 	}
-	if rp, ok := part.(RangePartitioner); ok {
-		for i := 1; i < len(rp.Bounds); i++ {
-			if rp.Bounds[i-1] >= rp.Bounds[i] {
-				return nil, fmt.Errorf("core: range partitioner bounds not ascending at %d", i)
-			}
+	if len(cfg.Logs) != 0 && len(cfg.Logs) != 1 && len(cfg.Logs) != n {
+		return nil, fmt.Errorf("core: forest got %d WAL logs, want 0 (none), 1 (shared) or %d (per shard)", len(cfg.Logs), n)
+	}
+	for i, l := range cfg.Logs {
+		if l == nil {
+			return nil, fmt.Errorf("core: forest WAL log %d is nil", i)
 		}
 	}
 	ripe := cfg.RipeFraction
@@ -232,7 +320,8 @@ func NewForest(pfs []*pagefile.PageFile, cfg ForestConfig) (*Forest, error) {
 	shardCfg := cfg.Shard
 	shardCfg.OPQPages = splitBudget(cfg.Shard.OPQPages, n)
 	shardCfg.BufferBytes = splitBudget(cfg.Shard.BufferBytes/cfg.Shard.PageSize, n) * cfg.Shard.PageSize
-	f := &Forest{part: part, ripeFrac: ripe}
+	f := &Forest{part: part, ripeFrac: ripe, logGangEnabled: !cfg.DisableLogGang}
+	seenLogs := make(map[*wal.Log]bool)
 	for i, pf := range pfs {
 		c := shardCfg
 		c.Relation = cfg.Shard.Relation + uint32(i)
@@ -240,9 +329,47 @@ func NewForest(pfs []*pagefile.PageFile, cfg ForestConfig) (*Forest, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: shard %d: %w", i, err)
 		}
+		if len(cfg.Logs) > 0 {
+			l := cfg.Logs[0]
+			if len(cfg.Logs) == n {
+				l = cfg.Logs[i]
+			}
+			tr.AttachWAL(l)
+			if !seenLogs[l] {
+				seenLogs[l] = true
+				f.logs = append(f.logs, l)
+			}
+		}
 		f.shards = append(f.shards, &forestShard{tree: tr})
 	}
+	f.sharedLog = len(f.logs) > 0 && len(f.logs) < len(f.shards)
 	return f, nil
+}
+
+// ValidatePartitioner rejects misconfigured partitioners before they can
+// misroute or crash the forest: a HashPartitioner with N <= 0 divides by
+// zero on its first Shard call, and a RangePartitioner with unsorted or
+// duplicate bounds silently sends keys to the wrong shards.
+func ValidatePartitioner(p Partitioner, shards int) error {
+	if p.Shards() != shards {
+		return fmt.Errorf("core: partitioner has %d shards, %d page files given", p.Shards(), shards)
+	}
+	switch pt := p.(type) {
+	case HashPartitioner:
+		if pt.N <= 0 {
+			return fmt.Errorf("core: hash partitioner N must be positive, got %d", pt.N)
+		}
+	case RangePartitioner:
+		for i := 1; i < len(pt.Bounds); i++ {
+			if pt.Bounds[i-1] == pt.Bounds[i] {
+				return fmt.Errorf("core: range partitioner has duplicate bound %d at index %d", pt.Bounds[i], i)
+			}
+			if pt.Bounds[i-1] > pt.Bounds[i] {
+				return fmt.Errorf("core: range partitioner bounds not ascending at index %d (%d > %d)", i, pt.Bounds[i-1], pt.Bounds[i])
+			}
+		}
+	}
+	return nil
 }
 
 // splitBudget divides a global page budget across n shards, keeping at
@@ -290,6 +417,11 @@ func (f *Forest) BulkLoad(recs []kv.Record) error {
 // readers share the shard but cannot start below its flush lock horizon;
 // flushes on other shards do not delay them at all.
 func (f *Forest) Search(at vtime.Ticks, k kv.Key) (kv.Value, bool, vtime.Ticks, error) {
+	// Reads are rejected too: on a damaged forest the in-memory structure
+	// may point at pages whose writes never reached the device.
+	if err := f.checkDamaged(); err != nil {
+		return 0, false, at, err
+	}
 	s := f.shards[f.part.Shard(k)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -302,6 +434,9 @@ func (f *Forest) Search(at vtime.Ticks, k kv.Key) (kv.Value, bool, vtime.Ticks, 
 // proceed in parallel in virtual time); the result is the merged map and
 // the latest completion.
 func (f *Forest) SearchMany(at vtime.Ticks, keys []kv.Key) (map[kv.Key]kv.Value, vtime.Ticks, error) {
+	if err := f.checkDamaged(); err != nil {
+		return nil, at, err
+	}
 	byShard := make(map[int][]kv.Key)
 	for _, k := range keys {
 		si := f.part.Shard(k)
@@ -334,6 +469,9 @@ func (f *Forest) SearchMany(at vtime.Ticks, keys []kv.Key) (map[kv.Key]kv.Value,
 // [lo, hi) (all shards under hash partitioning, the overlapping ones
 // under range partitioning) and merges the results in key order.
 func (f *Forest) RangeSearch(at vtime.Ticks, lo, hi kv.Key) ([]kv.Record, vtime.Ticks, error) {
+	if err := f.checkDamaged(); err != nil {
+		return nil, at, err
+	}
 	var recs []kv.Record
 	done := at
 	for _, si := range f.part.RangeShards(lo, hi) {
@@ -369,6 +507,9 @@ func (f *Forest) Update(at vtime.Ticks, r kv.Record) (vtime.Ticks, error) {
 }
 
 func (f *Forest) update(at vtime.Ticks, e kv.Entry) (vtime.Ticks, error) {
+	if err := f.checkDamaged(); err != nil {
+		return at, err
+	}
 	si := f.part.Shard(e.Rec.Key)
 	s := f.shards[si]
 	for {
@@ -411,8 +552,10 @@ func (f *Forest) update(at vtime.Ticks, e kv.Entry) (vtime.Ticks, error) {
 // are delayed.
 func (f *Forest) flushGroup(at vtime.Ticks, trigger int) (vtime.Ticks, error) {
 	// Lock candidates in ascending shard order (deadlock-free against
-	// concurrent group flushes).
-	var group []*forestShard
+	// concurrent group flushes). With a shared log, non-member shards stay
+	// locked too: their enqueue path appends to the same wal.Log the
+	// coordinator is about to force.
+	var group, bystanders []*forestShard
 	for i, s := range f.shards {
 		s.mu.Lock()
 		keep := false
@@ -421,24 +564,30 @@ func (f *Forest) flushGroup(at vtime.Ticks, trigger int) (vtime.Ticks, error) {
 		} else {
 			keep = s.ripe(f.ripeFrac)
 		}
-		if keep {
+		switch {
+		case keep:
 			group = append(group, s)
-		} else {
+		case f.sharedLog:
+			bystanders = append(bystanders, s)
+		default:
+			s.mu.Unlock()
+		}
+	}
+	unlock := func() {
+		for _, s := range group {
+			s.mu.Unlock()
+		}
+		for _, s := range bystanders {
 			s.mu.Unlock()
 		}
 	}
 	if len(group) == 0 {
 		// A racing group flush already drained the trigger shard.
+		unlock()
 		return at, nil
 	}
 	f.groupFlushes.Add(1)
 	f.groupedShards.Add(int64(len(group)))
-
-	unlock := func() {
-		for _, s := range group {
-			s.mu.Unlock()
-		}
-	}
 
 	if len(group) == 1 {
 		// Single member: flush exactly like the single-tree scheme (no
@@ -452,6 +601,7 @@ func (f *Forest) flushGroup(at vtime.Ticks, trigger int) (vtime.Ticks, error) {
 	}
 
 	gang := newWriteGang()
+	lg := newLogGang()
 	front := at
 	var flushErr error
 	acquired := 0
@@ -459,8 +609,16 @@ func (f *Forest) flushGroup(at vtime.Ticks, trigger int) (vtime.Ticks, error) {
 		start := s.vlock.Acquire(at)
 		acquired++
 		s.tree.gang = gang
+		if s.tree.log != nil && !s.tree.cfg.DisablePsync {
+			// Log work is deferred into the two-phase group commit (the WAL
+			// rule needs FlushEnd held back past the data gang);
+			// logGangEnabled only selects ganged vs serial forcing. Under
+			// the psync ablation the data writes are NOT deferred, so the
+			// log forces must stay inline with them (no deferral).
+			s.tree.walGang = lg
+		}
 		done, err := s.tree.FlushBatch(start, s.tree.cfg.BCnt)
-		s.tree.gang = nil
+		s.tree.gang, s.tree.walGang = nil, nil
 		front = vtime.Max(front, done)
 		if err != nil {
 			// Stop starting new flushes, but still submit the gang below:
@@ -471,11 +629,60 @@ func (f *Forest) flushGroup(at vtime.Ticks, trigger int) (vtime.Ticks, error) {
 			break
 		}
 	}
-	done, err := gang.submit(front)
-	if flushErr == nil {
-		flushErr = err
+	// Group commit phase 1 (prepare): force every member's FlushStart,
+	// logical redo and flush undo records BEFORE any data write reaches
+	// the device — the WAL rule, paid as one ganged submission (or N
+	// serial forces under the per-shard baseline). Runs even after a
+	// member error: completed members' undo records must cover their
+	// deferred writes.
+	prepared := true
+	if len(lg.order) > 0 {
+		done, err := f.forceLogs(front, lg.order)
+		if err != nil {
+			// Without durable undo records the data writes must not go out.
+			prepared = false
+			if flushErr == nil {
+				flushErr = err
+			}
+		}
+		front = done
 	}
-	f.gangSubmits.Add(1)
+	done := front
+	if prepared {
+		var err error
+		done, err = gang.submit(front)
+		f.gangSubmits.Add(1)
+		if err != nil {
+			prepared = false
+			if flushErr == nil {
+				flushErr = err
+			}
+		}
+	}
+	if (!prepared || flushErr != nil) && acquired > 0 {
+		// Either a member errored mid-flush or its writes never (fully)
+		// reached the device: some member's in-memory state and the disk
+		// no longer agree. Poison the forest until Crash+Recover rebuilds
+		// a consistent state from the durable log.
+		f.setDamaged(flushErr)
+	}
+	// Group commit phase 2: only after the data writes reached the device
+	// may FlushEnd records become durable — a FlushEnd without its data
+	// would make recovery skip redo records for pages that were never
+	// written. lg.ends holds only members whose flush completed, so they
+	// are committed even when a later member errored (their data is in
+	// the submitted gang); a crash or error between the phases leaves
+	// FlushStart without FlushEnd, which recovery undoes.
+	if prepared && len(lg.ends) > 0 {
+		for _, e := range lg.ends {
+			e.log.Append(e.rec)
+		}
+		done2, err2 := f.forceLogs(done, lg.order)
+		if err2 != nil && flushErr == nil {
+			flushErr = err2
+		}
+		done = done2
+	}
 	// Only members whose flush actually started hold the virtual lock.
 	for _, s := range group[:acquired] {
 		s.vlock.Release(done)
@@ -484,9 +691,33 @@ func (f *Forest) flushGroup(at vtime.Ticks, trigger int) (vtime.Ticks, error) {
 	return done, flushErr
 }
 
+// forceLogs makes the registered member logs durable: one ganged
+// submission under group commit, or serial per-log Force calls under the
+// per-shard baseline (DisableLogGang).
+func (f *Forest) forceLogs(at vtime.Ticks, logs []*wal.Log) (vtime.Ticks, error) {
+	if f.logGangEnabled {
+		done, n, err := wal.ForceGroup(at, logs)
+		if n > 0 {
+			f.logGangSubmits.Add(1)
+		}
+		return done, err
+	}
+	var err error
+	for _, l := range logs {
+		at, err = l.Force(at)
+		if err != nil {
+			return at, err
+		}
+	}
+	return at, nil
+}
+
 // Flush forces a group flush seeded by the fullest shard (no-op when the
 // whole forest is empty).
 func (f *Forest) Flush(at vtime.Ticks) (vtime.Ticks, error) {
+	if err := f.checkDamaged(); err != nil {
+		return at, err
+	}
 	best, bestLen := -1, 0
 	for i, s := range f.shards {
 		s.mu.Lock()
@@ -502,22 +733,178 @@ func (f *Forest) Flush(at vtime.Ticks) (vtime.Ticks, error) {
 	return f.flushGroup(at, best)
 }
 
-// Checkpoint drains every shard's OPQ. The per-shard checkpoints start at
-// the caller's time and proceed in parallel in virtual time.
+// Checkpoint drains every shard's OPQ. The per-shard drains start at the
+// caller's time and proceed in parallel in virtual time. With WALs
+// attached, a checkpoint record is appended per shard and the final
+// forces are ganged into one blocking submission — the forest-wide
+// checkpoint the recovery scan cuts at.
 func (f *Forest) Checkpoint(at vtime.Ticks) (vtime.Ticks, error) {
+	if err := f.checkDamaged(); err != nil {
+		return at, err
+	}
+	// With a shared log, every shard lock is held for the whole
+	// checkpoint (the same discipline as the group-flush coordinator) so
+	// the ganged force cannot interleave a group commit in progress. With
+	// per-shard logs the drain proceeds one shard at a time, as before:
+	// the final ganged force is safe without shard locks because each
+	// wal.Log serializes its force operations internally.
+	if f.sharedLog {
+		for _, s := range f.shards {
+			s.mu.Lock()
+		}
+		defer func() {
+			for _, s := range f.shards {
+				s.mu.Unlock()
+			}
+		}()
+	}
 	done := at
+	lg := newLogGang()
 	for _, s := range f.shards {
-		s.mu.Lock()
+		if !f.sharedLog {
+			s.mu.Lock()
+		}
 		start := s.vlock.Acquire(at)
-		d, err := s.tree.Checkpoint(start)
+		d, err := s.tree.drain(start)
+		if err == nil && s.tree.log != nil {
+			s.tree.log.Append(wal.Record{Kind: wal.KindCheckpoint, Relation: s.tree.cfg.Relation})
+			lg.need(s.tree.log)
+		}
 		s.vlock.Release(d)
-		s.mu.Unlock()
+		if !f.sharedLog {
+			s.mu.Unlock()
+		}
 		if err != nil {
 			return d, err
 		}
 		done = vtime.Max(done, d)
 	}
+	if len(lg.order) > 0 {
+		d, err := f.forceLogs(done, lg.order)
+		if err != nil {
+			return d, err
+		}
+		done = d
+	}
 	return done, nil
+}
+
+// Sync is an explicit commit point: it forces every attached log, making
+// the redo records of all buffered (but not yet flushed) operations
+// durable without paying for a flush — one ganged submission, or serial
+// per-log forces under DisableLogGang. A no-op without WALs.
+func (f *Forest) Sync(at vtime.Ticks) (vtime.Ticks, error) {
+	if err := f.checkDamaged(); err != nil {
+		return at, err
+	}
+	if len(f.logs) == 0 {
+		return at, nil
+	}
+	// A shared log must not be forced mid-group-commit; the shard locks
+	// exclude any coordinator. Per-shard logs need no shard locks: each
+	// wal.Log serializes its force operations internally.
+	if f.sharedLog {
+		for _, s := range f.shards {
+			s.mu.Lock()
+		}
+		defer func() {
+			for _, s := range f.shards {
+				s.mu.Unlock()
+			}
+		}()
+	}
+	return f.forceLogs(at, f.logs)
+}
+
+// ForestRecoveryReport aggregates the per-shard recovery reports.
+type ForestRecoveryReport struct {
+	// Shards holds shard i's report at index i.
+	Shards []RecoveryReport
+	// Total sums the per-shard counters.
+	Total RecoveryReport
+}
+
+// Recover replays every shard's WAL per the paper's Section 3.4 (each
+// shard filters the log by its Relation, so both the shared-log and the
+// per-shard-log layouts recover correctly) and returns the aggregated
+// report. Call after Crash (or on a freshly reconstructed forest whose
+// files and logs hold the durable pre-crash state, with RestoreMeta
+// applied).
+func (f *Forest) Recover(at vtime.Ticks) (ForestRecoveryReport, vtime.Ticks, error) {
+	rep := ForestRecoveryReport{Shards: make([]RecoveryReport, len(f.shards))}
+	// A shared log is decoded once, not once per shard.
+	var shared []wal.Record
+	if f.sharedLog {
+		var err error
+		shared, err = f.logs[0].Records()
+		if err != nil {
+			return rep, at, err
+		}
+	}
+	done := at
+	for i, s := range f.shards {
+		s.mu.Lock()
+		var r RecoveryReport
+		var d vtime.Ticks
+		var err error
+		if shared != nil {
+			r, d, err = s.tree.recoverFrom(at, shared)
+		} else {
+			r, d, err = s.tree.Recover(at)
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return rep, d, fmt.Errorf("core: forest shard %d: %w", i, err)
+		}
+		rep.Shards[i] = r
+		rep.Total.UndoneFlushes += r.UndoneFlushes
+		rep.Total.UndoPagesApplied += r.UndoPagesApplied
+		rep.Total.RedoneEntries += r.RedoneEntries
+		rep.Total.SkippedEntries += r.SkippedEntries
+		done = vtime.Max(done, d)
+	}
+	// The durable log has been replayed into a consistent state; lift any
+	// group-commit damage mark.
+	f.damaged.Store(nil)
+	return rep, done, nil
+}
+
+// Crash simulates a whole-forest crash: every shard's volatile state
+// (OPQ, LSMap, buffer pool, unforced log tail) vanishes; the simulated
+// SSD contents and the forced WAL records remain.
+func (f *Forest) Crash() {
+	for _, s := range f.shards {
+		s.mu.Lock()
+		s.tree.CrashVolatileState()
+		s.mu.Unlock()
+	}
+}
+
+// SnapshotMeta captures every shard's structural state (what a DBMS
+// catalog would persist), shard i at index i.
+func (f *Forest) SnapshotMeta() []Meta {
+	out := make([]Meta, len(f.shards))
+	for i, s := range f.shards {
+		s.mu.Lock()
+		out[i] = s.tree.Snapshot()
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// RestoreMeta resets every shard's structural state from a SnapshotMeta
+// capture (crash-recovery harnesses restore the durable snapshot, then
+// call Recover).
+func (f *Forest) RestoreMeta(ms []Meta) error {
+	if len(ms) != len(f.shards) {
+		return fmt.Errorf("core: restore meta for %d shards, forest has %d", len(ms), len(f.shards))
+	}
+	for i, s := range f.shards {
+		s.mu.Lock()
+		s.tree.RestoreMeta(ms[i])
+		s.mu.Unlock()
+	}
+	return nil
 }
 
 // Count returns the number of live records across all shards.
@@ -582,6 +969,14 @@ func (f *Forest) Stats() ForestStats {
 		out.Pending += s.tree.OPQLen()
 		s.mu.Unlock()
 	}
+	// Log-plane counters: each log guards its own counters (Sync and
+	// Checkpoint may force per-shard logs without holding shard locks).
+	out.LogGangSubmits = f.logGangSubmits.Load()
+	for _, l := range f.logs {
+		fw, _ := l.ForceStats()
+		out.LogForceWrites += fw
+	}
+	out.LogSubmits = out.LogForceWrites + out.LogGangSubmits
 	return out
 }
 

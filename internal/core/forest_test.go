@@ -9,6 +9,7 @@ import (
 	"repro/internal/pagefile"
 	"repro/internal/ssdio"
 	"repro/internal/vtime"
+	"repro/internal/wal"
 )
 
 // newTestForest builds a forest of n shards on a fresh simulated device.
@@ -291,5 +292,77 @@ func TestForestRejectsBadConfig(t *testing.T) {
 		Partitioner: RangePartitioner{}, Shard: cfg,
 	}); err != nil {
 		t.Fatalf("single-shard range partitioner rejected: %v", err)
+	}
+}
+
+// TestValidatePartitioner covers the shard-configuration validation: a
+// HashPartitioner with N <= 0 would divide by zero on the first Shard
+// call, and RangePartitioner bounds must be strictly ascending.
+func TestValidatePartitioner(t *testing.T) {
+	if err := ValidatePartitioner(HashPartitioner{N: 0}, 0); err == nil {
+		t.Fatal("HashPartitioner{N:0} accepted")
+	}
+	if err := ValidatePartitioner(HashPartitioner{N: -3}, -3); err == nil {
+		t.Fatal("HashPartitioner{N:-3} accepted")
+	}
+	if err := ValidatePartitioner(HashPartitioner{N: 4}, 4); err != nil {
+		t.Fatalf("valid hash partitioner rejected: %v", err)
+	}
+	if err := ValidatePartitioner(RangePartitioner{Bounds: []kv.Key{10, 10}}, 3); err == nil {
+		t.Fatal("duplicate range bounds accepted")
+	}
+	if err := ValidatePartitioner(RangePartitioner{Bounds: []kv.Key{20, 10}}, 3); err == nil {
+		t.Fatal("descending range bounds accepted")
+	}
+	if err := ValidatePartitioner(RangePartitioner{Bounds: []kv.Key{10, 20}}, 3); err != nil {
+		t.Fatalf("valid range partitioner rejected: %v", err)
+	}
+}
+
+// TestForestRejectsBadRangeBounds: NewForest must reject unsorted and
+// duplicate RangePartitioner bounds with a clear error.
+func TestForestRejectsBadRangeBounds(t *testing.T) {
+	cfg := forestCfg()
+	dev := flashsim.MustDevice(flashsim.P300())
+	space := ssdio.NewSpace(dev)
+	pfs := make([]*pagefile.PageFile, 3)
+	for i := range pfs {
+		f, _ := space.Create(fmt.Sprintf("s%d", i), 1<<20)
+		pfs[i], _ = pagefile.New(f, cfg.PageSize)
+	}
+	for _, bounds := range [][]kv.Key{{50, 50}, {100, 50}} {
+		if _, err := NewForest(pfs, ForestConfig{
+			Partitioner: RangePartitioner{Bounds: bounds}, Shard: cfg,
+		}); err == nil {
+			t.Fatalf("bounds %v accepted", bounds)
+		}
+	}
+}
+
+// TestForestRejectsBadLogs: the WAL attachment must be none, one shared
+// log, or exactly one per shard — and never nil entries.
+func TestForestRejectsBadLogs(t *testing.T) {
+	cfg := forestCfg()
+	dev := flashsim.MustDevice(flashsim.P300())
+	space := ssdio.NewSpace(dev)
+	pfs := make([]*pagefile.PageFile, 3)
+	for i := range pfs {
+		f, _ := space.Create(fmt.Sprintf("s%d", i), 1<<20)
+		pfs[i], _ = pagefile.New(f, cfg.PageSize)
+	}
+	wf, _ := space.Create("wal", 1<<20)
+	l, err := wal.NewLog(wf, cfg.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewForest(pfs, ForestConfig{Shard: cfg, Logs: []*wal.Log{l, l}}); err == nil {
+		t.Fatal("accepted 2 logs for 3 shards")
+	}
+	if _, err := NewForest(pfs, ForestConfig{Shard: cfg, Logs: []*wal.Log{l, nil, l}}); err == nil {
+		t.Fatal("accepted nil log entry")
+	}
+	// One shared log multiplexed by Relation is valid.
+	if _, err := NewForest(pfs, ForestConfig{Shard: cfg, Logs: []*wal.Log{l}}); err != nil {
+		t.Fatalf("shared log rejected: %v", err)
 	}
 }

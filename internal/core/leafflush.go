@@ -145,7 +145,7 @@ func (t *Tree) flushLeaves(at vtime.Ticks, groups []leafGroup) ([][]fenceRec, vt
 				UndoInfo: p.buf,
 			})
 		}
-		at, err = t.log.Force(at)
+		at, err = t.forceWAL(at)
 		if err != nil {
 			return nil, at, err
 		}

@@ -38,13 +38,23 @@ type RecoveryReport struct {
 // taken from meta, which the caller persists separately (the experiments
 // snapshot it; a full DBMS would keep it in the catalog).
 func (t *Tree) Recover(at vtime.Ticks) (RecoveryReport, vtime.Ticks, error) {
-	var rep RecoveryReport
 	if t.log == nil {
-		return rep, at, fmt.Errorf("core: Recover called without a WAL attached")
+		return RecoveryReport{}, at, fmt.Errorf("core: Recover called without a WAL attached")
 	}
 	recs, err := t.log.Records()
 	if err != nil {
-		return rep, at, err
+		return RecoveryReport{}, at, err
+	}
+	return t.recoverFrom(at, recs)
+}
+
+// recoverFrom replays pre-decoded log records. Forest.Recover decodes a
+// shared multiplexed log once and hands every shard the same slice,
+// instead of re-reading and re-CRC-checking the whole log per shard.
+func (t *Tree) recoverFrom(at vtime.Ticks, recs []wal.Record) (RecoveryReport, vtime.Ticks, error) {
+	var rep RecoveryReport
+	if t.log == nil {
+		return rep, at, fmt.Errorf("core: Recover called without a WAL attached")
 	}
 	// Only this relation's records matter.
 	var mine []wal.Record
@@ -86,10 +96,8 @@ func (t *Tree) Recover(at vtime.Ticks) (RecoveryReport, vtime.Ticks, error) {
 		if len(r.UndoInfo) != t.cfg.PageSize {
 			return rep, at, fmt.Errorf("core: flush undo for page %d has %d bytes", r.NodeID, len(r.UndoInfo))
 		}
-		if err := t.pf.WritePageNoCost(pagefile.PageID(r.NodeID), r.UndoInfo); err != nil {
-			return rep, at, err
-		}
-		// Charge a timed page write for the undo.
+		// One timed page write both restores the pre-image and charges the
+		// undo's device cost.
 		var werr error
 		at, werr = t.pf.WritePage(at, pagefile.PageID(r.NodeID), r.UndoInfo)
 		if werr != nil {
@@ -102,25 +110,36 @@ func (t *Tree) Recover(at vtime.Ticks) (RecoveryReport, vtime.Ticks, error) {
 
 	// Redo phase: rebuild the OPQ from logical redo logs. A record is
 	// skipped when a completed flush that STARTED AFTER the record was
-	// logged covers its key (the flush consumed it). Flush ordering is by
-	// log position, so we track which completed flushes lie ahead.
+	// logged covers its key (the flush consumed it). A single backward
+	// sweep accumulates the completed-flush key ranges lying ahead of
+	// each position, so replay costs O(records x completed flushes)
+	// instead of rescanning the log tail per redo record.
+	type keyRange struct{ lo, hi kv.Key }
+	skip := make([]bool, len(mine))
+	var ahead []keyRange
+	for i := len(mine) - 1; i >= 0; i-- {
+		r := mine[i]
+		switch r.Kind {
+		case wal.KindLogicalRedo:
+			for _, kr := range ahead {
+				if r.Key >= kr.lo && r.Key <= kr.hi {
+					skip[i] = true
+					break
+				}
+			}
+		case wal.KindFlushStart:
+			if rng, ok := completed[r.FlushID]; ok {
+				ahead = append(ahead, keyRange{lo: rng[0], hi: rng[1]})
+			}
+		}
+	}
 	t.opq.Reset()
 	t.count = 0
 	for i, r := range mine {
 		if r.Kind != wal.KindLogicalRedo {
 			continue
 		}
-		skip := false
-		for j := i + 1; j < len(mine); j++ {
-			s := mine[j]
-			if s.Kind == wal.KindFlushStart {
-				if rng, ok := completed[s.FlushID]; ok && r.Key >= rng[0] && r.Key <= rng[1] {
-					skip = true
-					break
-				}
-			}
-		}
-		if skip {
+		if skip[i] {
 			rep.SkippedEntries++
 			continue
 		}

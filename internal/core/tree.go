@@ -98,6 +98,11 @@ type Tree struct {
 	// writes as one cross-file psync call. Set only while the owning
 	// forest shard is exclusively locked.
 	gang *writeGang
+	// walGang, when non-nil, defers this tree's log forces (and its
+	// FlushEnd append) into the forest group's two-phase group commit:
+	// the coordinator gang-forces every member log once before the data
+	// gang (WAL rule) and once after (commit). Set alongside gang.
+	walGang *logGang
 
 	stats           Stats
 	buf             []byte // page scratch
@@ -167,6 +172,18 @@ func New(pf *pagefile.PageFile, cfg Config) (*Tree, error) {
 
 // AttachWAL enables write-ahead logging (Section 3.4) on the tree.
 func (t *Tree) AttachWAL(l *wal.Log) { t.log = l }
+
+// forceWAL makes the tree's appended log records durable. During a forest
+// group flush the force is deferred instead: the log registers with the
+// group's log gang, and the coordinator issues one ganged force for every
+// member before any data write reaches the device.
+func (t *Tree) forceWAL(at vtime.Ticks) (vtime.Ticks, error) {
+	if t.walGang != nil {
+		t.walGang.need(t.log)
+		return at, nil
+	}
+	return t.log.Force(at)
+}
 
 // Count returns the number of live records (OPQ included).
 func (t *Tree) Count() int64 { return t.count }
@@ -373,6 +390,21 @@ func (t *Tree) enqueue(at vtime.Ticks, e kv.Entry) (vtime.Ticks, error) {
 // (Section 3.4: "PIO B-tree also flushes all the OPQ entries ... when the
 // DBMS system needs to checkpoint").
 func (t *Tree) Checkpoint(at vtime.Ticks) (vtime.Ticks, error) {
+	at, err := t.drain(at)
+	if err != nil {
+		return at, err
+	}
+	if t.log != nil {
+		t.log.Append(wal.Record{Kind: wal.KindCheckpoint, Relation: t.cfg.Relation})
+		at, err = t.log.Force(at)
+	}
+	return at, err
+}
+
+// drain flushes the whole OPQ without logging a checkpoint record (the
+// forest checkpoint drains every shard this way, then gang-forces one
+// checkpoint record per shard log).
+func (t *Tree) drain(at vtime.Ticks) (vtime.Ticks, error) {
 	var err error
 	for t.opq.Len() > 0 {
 		at, err = t.FlushBatch(at, 0)
@@ -380,11 +412,7 @@ func (t *Tree) Checkpoint(at vtime.Ticks) (vtime.Ticks, error) {
 			return at, err
 		}
 	}
-	if t.log != nil {
-		t.log.Append(wal.Record{Kind: wal.KindCheckpoint, Relation: t.cfg.Relation})
-		at, err = t.log.Force(at)
-	}
-	return at, err
+	return at, nil
 }
 
 // BulkLoad builds the tree from key-sorted records at the configured fill

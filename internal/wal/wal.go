@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sync"
 
 	"repro/internal/flashsim"
 	"repro/internal/ssdio"
@@ -176,18 +177,39 @@ func unmarshal(b []byte) (Record, int, error) {
 
 // Log is a write-ahead log on a simulated SSD file. Appends accumulate in
 // an in-memory tail; Force makes them durable with sequential writes.
+//
+// An internal mutex serializes every method — Force and ForceGroup hold
+// it across the simulated device write — so a forest's shards may
+// multiplex one shared log and appends may race forces (an append lands
+// wholly before or wholly after any force). Concurrent ForceGroup calls
+// whose log sets overlap must acquire them in a consistent order (the
+// forest coordinator always passes logs in ascending shard order).
 type Log struct {
 	f        *ssdio.File
 	pageSize int
 
-	nextLSN    uint64
-	durableOff int64  // bytes of the file that are durable
-	tail       []byte // appended but not yet forced
-	forced     uint64 // LSN up to which records are durable (exclusive next)
+	mu      sync.Mutex
+	nextLSN uint64
+	durable int64  // durable log-content bytes
+	partial []byte // durable content of the trailing, partially filled page
+	tail    []byte // appended but not yet forced
+	forced  uint64 // LSN up to which records are durable (exclusive next)
 
-	// ForceWrites counts device writes issued by Force, for experiments.
+	// ForceWrites counts blocking device submissions issued by Force (one
+	// per non-empty call); participations in a ForceGroup gang count on
+	// GangForces instead, since the gang is a single shared submission.
 	ForceWrites int64
+	// GangForces counts ForceGroup gangs this log contributed a write to.
+	GangForces int64
+
+	// TraceForces, when set, records every force's device-write extent in
+	// ForceTrace (testing: alignment regression checks).
+	TraceForces bool
+	ForceTrace  []ForceSpan
 }
+
+// ForceSpan is the file extent of one force's device write.
+type ForceSpan struct{ Off, Len int64 }
 
 // NewLog creates a WAL on file f using the given force-write granularity
 // (typically the index page size).
@@ -201,6 +223,8 @@ func NewLog(f *ssdio.File, pageSize int) (*Log, error) {
 // Append adds a record to the in-memory tail and returns its LSN. The
 // record is not durable until Force.
 func (l *Log) Append(r Record) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	r.LSN = l.nextLSN
 	l.nextLSN++
 	l.tail = r.marshal(l.tail)
@@ -208,36 +232,148 @@ func (l *Log) Append(r Record) uint64 {
 }
 
 // DurableLSN returns the highest LSN guaranteed durable.
-func (l *Log) DurableLSN() uint64 { return l.forced }
+func (l *Log) DurableLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.forced
+}
 
-// Force writes the tail to the device (sequential, page-rounded) at
+// ForceStats returns the submission counters under the log's mutex, for
+// readers that may race in-flight forces (single-threaded code may read
+// the ForceWrites/GangForces fields directly).
+func (l *Log) ForceStats() (forceWrites, gangForces int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ForceWrites, l.GangForces
+}
+
+// pendingReq builds the page-aligned device write that would make the
+// tail durable: it starts at the last page boundary at or below the
+// durable length (carrying the already-durable bytes of a partially
+// filled last page) and is rounded up to whole pages, so successive
+// forces never issue unaligned or overlapping-with-padding writes and the
+// cost accounting matches the paper's sequential page-write model.
+// Returns ok=false when there is nothing to force.
+func (l *Log) pendingReq() (ssdio.Req, bool) {
+	if len(l.tail) == 0 {
+		return ssdio.Req{}, false
+	}
+	off := l.durable - int64(len(l.partial))
+	content := len(l.partial) + len(l.tail)
+	n := (content + l.pageSize - 1) / l.pageSize * l.pageSize
+	buf := make([]byte, n)
+	copy(buf, l.partial)
+	copy(buf[len(l.partial):], l.tail)
+	l.f.EnsureSize(off + int64(n))
+	return ssdio.Req{Op: flashsim.Write, Off: off, Buf: buf}, true
+}
+
+// commitForce advances the durable state after the device accepted the
+// write previously built by pendingReq.
+func (l *Log) commitForce(req ssdio.Req) {
+	content := len(l.partial) + len(l.tail)
+	l.durable += int64(len(l.tail))
+	if rem := int(l.durable % int64(l.pageSize)); rem > 0 {
+		l.partial = append(l.partial[:0], req.Buf[content-rem:content]...)
+	} else {
+		l.partial = l.partial[:0]
+	}
+	l.tail = l.tail[:0]
+	l.forced = l.nextLSN - 1
+	if l.TraceForces {
+		l.ForceTrace = append(l.ForceTrace, ForceSpan{Off: req.Off, Len: int64(len(req.Buf))})
+	}
+}
+
+// Force writes the tail to the device (sequential, page-aligned) at
 // virtual time at and returns the completion time. After Force returns,
 // every appended record is durable: the WAL rule both of Section 3.4's
-// conditions rely on.
+// conditions rely on. The log's mutex is held across the simulated
+// device write, so records appended by racing shards land either wholly
+// before or wholly after this force.
 func (l *Log) Force(at vtime.Ticks) (vtime.Ticks, error) {
-	if len(l.tail) == 0 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	req, ok := l.pendingReq()
+	if !ok {
 		return at, nil
 	}
-	n := (len(l.tail) + l.pageSize - 1) / l.pageSize * l.pageSize
-	buf := make([]byte, n)
-	copy(buf, l.tail)
-	l.f.EnsureSize(l.durableOff + int64(n))
-	done, err := l.f.Sync(at, ssdio.Req{Op: flashsim.Write, Off: l.durableOff, Buf: buf})
+	done, err := l.f.Sync(at, req)
 	if err != nil {
 		return at, err
 	}
 	l.ForceWrites++
-	l.durableOff += int64(len(l.tail))
-	l.tail = l.tail[:0]
-	l.forced = l.nextLSN - 1
+	l.commitForce(req)
 	return done, nil
+}
+
+// ForceGroup makes the tails of several logs durable in ONE blocking
+// device submission, via ssdio.PsyncGang: the group-commit primitive.
+// Where N per-shard Force calls cost N serial blocking writes, the gang
+// costs one submission whose member writes overlap on the device's
+// channels — the paper's eq.-(10) batching applied to the log plane.
+// Nil logs, duplicates, and logs with empty tails are skipped; all log
+// files must live on one ssdio.Space (one device). The int result is the
+// number of logs actually forced: 0 means no device submission was
+// issued at all.
+func ForceGroup(at vtime.Ticks, logs []*Log) (vtime.Ticks, int, error) {
+	// Hold every member's mutex across the whole gang so racing appends
+	// land wholly before or after it (callers already serialize gangs that
+	// share logs, so the acquisition order cannot deadlock).
+	var members []*Log
+	var reqs []ssdio.Req
+	seen := make(map[*Log]bool, len(logs))
+	unlock := func() {
+		for _, l := range members {
+			l.mu.Unlock()
+		}
+	}
+	for _, l := range logs {
+		if l == nil || seen[l] {
+			continue
+		}
+		seen[l] = true
+		l.mu.Lock()
+		req, ok := l.pendingReq()
+		if !ok {
+			l.mu.Unlock()
+			continue
+		}
+		members = append(members, l)
+		reqs = append(reqs, req)
+	}
+	if len(members) == 0 {
+		return at, 0, nil
+	}
+	defer unlock()
+	batches := make([]ssdio.GangBatch, len(members))
+	for i, l := range members {
+		batches[i] = ssdio.GangBatch{F: l.f, Reqs: []ssdio.Req{reqs[i]}}
+	}
+	done, err := ssdio.PsyncGang(at, batches)
+	if err != nil {
+		return at, 0, err
+	}
+	for i, l := range members {
+		l.GangForces++
+		l.commitForce(reqs[i])
+	}
+	return done, len(members), nil
 }
 
 // Records decodes every durable record, in append order. Used by recovery
 // (the in-memory tail is, by definition, lost in a crash).
+//
+// A torn tail — a truncated or CRC-corrupt record left by a force that
+// was interrupted by the crash — ends the scan at the last intact record
+// instead of failing the whole recovery: the WAL rule guarantees nothing
+// at or past the tear was ever acknowledged as durable, so the intact
+// prefix IS the recoverable log.
 func (l *Log) Records() ([]Record, error) {
-	buf := make([]byte, l.durableOff)
-	if l.durableOff > 0 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	buf := make([]byte, l.durable)
+	if l.durable > 0 {
 		if err := l.f.ReadAt(buf, 0); err != nil {
 			return nil, err
 		}
@@ -246,10 +382,9 @@ func (l *Log) Records() ([]Record, error) {
 	for len(buf) > 0 {
 		r, n, err := unmarshal(buf)
 		if err != nil {
-			if errors.Is(err, errTruncated) {
-				break
-			}
-			return nil, err
+			// errTruncated is the clean end of the log; any other decode
+			// failure is a torn record, cutting the durable prefix here.
+			break
 		}
 		out = append(out, r)
 		buf = buf[n:]
@@ -260,6 +395,8 @@ func (l *Log) Records() ([]Record, error) {
 // Crash discards the volatile tail, simulating the loss of unforced
 // records at a system crash.
 func (l *Log) Crash() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.tail = l.tail[:0]
 	l.nextLSN = l.forced + 1
 }

@@ -1,11 +1,13 @@
 package wal
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/flashsim"
 	"repro/internal/ssdio"
+	"repro/internal/vtime"
 )
 
 func newLog(t *testing.T) *Log {
@@ -182,5 +184,252 @@ func TestNewLogValidation(t *testing.T) {
 	f, _ := ssdio.NewSpace(dev).Create("w2", 4096)
 	if _, err := NewLog(f, 0); err == nil {
 		t.Fatal("zero page size accepted")
+	}
+}
+
+// TestForceAlignment is the regression test for the unaligned-durable-
+// offset bug: every force must issue exactly one page-aligned device
+// write (aligned offset AND size), carrying the partial last page
+// forward, and the full record stream must still decode.
+func TestForceAlignment(t *testing.T) {
+	const pageSize = 512
+	dev := flashsim.MustDevice(flashsim.P300())
+	f, err := ssdio.NewSpace(dev).Create("wal", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLog(f, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.TraceForces = true
+	total := 0
+	var at vtime.Ticks
+	for i := 0; i < 20; i++ {
+		// Odd-sized records (growing undo payloads) so forces end
+		// mid-page almost every time.
+		undo := make([]byte, 37*i%300)
+		l.Append(Record{Kind: KindFlushUndo, NodeID: int64(i), UndoInfo: undo})
+		total++
+		if i%3 == 0 {
+			l.Append(Record{Kind: KindLogicalRedo, Key: uint64(i), Value: uint64(i)})
+			total++
+		}
+		done, err := l.Force(at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = done
+	}
+	if len(l.ForceTrace) != 20 {
+		t.Fatalf("traced %d forces, want 20", len(l.ForceTrace))
+	}
+	prevEnd := int64(0)
+	for i, sp := range l.ForceTrace {
+		if sp.Off%pageSize != 0 {
+			t.Fatalf("force %d offset %d not page-aligned", i, sp.Off)
+		}
+		if sp.Len%pageSize != 0 || sp.Len == 0 {
+			t.Fatalf("force %d length %d not a positive page multiple", i, sp.Len)
+		}
+		// A force may rewrite the carried partial page, but never a fully
+		// durable one: its start is at most one page before the previous end.
+		if i > 0 && sp.Off < prevEnd-pageSize {
+			t.Fatalf("force %d offset %d rewrites fully durable pages (prev end %d)", i, sp.Off, prevEnd)
+		}
+		if sp.Off > prevEnd {
+			t.Fatalf("force %d offset %d leaves a gap (prev end %d)", i, sp.Off, prevEnd)
+		}
+		prevEnd = sp.Off + sp.Len
+	}
+	recs, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != total {
+		t.Fatalf("decoded %d records, want %d", len(recs), total)
+	}
+}
+
+// TestForcePartialPageCarried: two sub-page forces land in the same page;
+// the second must rewrite it from the page boundary, not append at an
+// unaligned offset, and both records must survive.
+func TestForcePartialPageCarried(t *testing.T) {
+	l := newLog(t)
+	l.TraceForces = true
+	l.Append(Record{Kind: KindLogicalRedo, Key: 1, Value: 10})
+	if _, err := l.Force(0); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Record{Kind: KindLogicalRedo, Key: 2, Value: 20})
+	if _, err := l.Force(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.ForceTrace) != 2 {
+		t.Fatalf("traced %d forces", len(l.ForceTrace))
+	}
+	if l.ForceTrace[0].Off != 0 || l.ForceTrace[1].Off != 0 {
+		t.Fatalf("sub-page forces must both start at 0: %+v", l.ForceTrace)
+	}
+	recs, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Key != 1 || recs[1].Key != 2 {
+		t.Fatalf("records after carried force: %+v", recs)
+	}
+}
+
+// TestForceGroupGang: several logs on one device are forced durable by a
+// single gang submission; duplicates and empty tails are skipped.
+func TestForceGroupGang(t *testing.T) {
+	dev := flashsim.MustDevice(flashsim.P300())
+	space := ssdio.NewSpace(dev)
+	logs := make([]*Log, 4)
+	for i := range logs {
+		f, err := space.Create(fmt.Sprintf("wal%d", i), 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs[i], err = NewLog(f, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Logs 0..2 get records; log 3 stays empty. Log 0 passed twice.
+	for i := 0; i < 3; i++ {
+		logs[i].Append(Record{Kind: KindLogicalRedo, Relation: uint32(i), Key: uint64(i)})
+	}
+	done, n, err := ForceGroup(0, []*Log{logs[0], logs[1], logs[0], logs[2], nil, logs[3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= 0 {
+		t.Fatal("gang force cost no time")
+	}
+	if n != 3 {
+		t.Fatalf("gang forced %d logs, want 3", n)
+	}
+	for i := 0; i < 3; i++ {
+		if logs[i].DurableLSN() != 1 {
+			t.Fatalf("log %d durable LSN %d, want 1", i, logs[i].DurableLSN())
+		}
+		if logs[i].GangForces != 1 || logs[i].ForceWrites != 0 {
+			t.Fatalf("log %d gang=%d force=%d, want 1/0", i, logs[i].GangForces, logs[i].ForceWrites)
+		}
+		recs, err := logs[i].Records()
+		if err != nil || len(recs) != 1 || recs[0].Relation != uint32(i) {
+			t.Fatalf("log %d records: %v %v", i, recs, err)
+		}
+	}
+	if logs[3].GangForces != 0 {
+		t.Fatal("empty log charged a gang force")
+	}
+	// Empty gang is free and reports zero submissions.
+	if d, n, err := ForceGroup(42, []*Log{logs[3], nil}); err != nil || d != 42 || n != 0 {
+		t.Fatalf("empty gang: %v %v %v", d, n, err)
+	}
+}
+
+// TestRecordsTornTail: a force interrupted by a crash leaves a truncated
+// or corrupted tail; Records must return the intact prefix instead of
+// failing the whole recovery.
+func TestRecordsTornTail(t *testing.T) {
+	build := func(t *testing.T) *Log {
+		l := newLog(t)
+		for i := 0; i < 5; i++ {
+			l.Append(Record{Kind: KindLogicalRedo, Key: uint64(i), Value: uint64(i * 10)})
+		}
+		if _, err := l.Force(0); err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	// Byte offset where record i starts (records are identically sized).
+	recOff := func(l *Log, i int) int64 {
+		return int64(i) * (l.durable / 5)
+	}
+	cases := []struct {
+		name string
+		tear func(t *testing.T, l *Log)
+		want int
+	}{
+		{
+			name: "corrupt CRC of last record",
+			tear: func(t *testing.T, l *Log) {
+				corruptAt(t, l, recOff(l, 4)+12) // a body byte of record 4
+			},
+			want: 4,
+		},
+		{
+			name: "corrupt CRC mid-log cuts there",
+			tear: func(t *testing.T, l *Log) {
+				corruptAt(t, l, recOff(l, 2)+12)
+			},
+			want: 2,
+		},
+		{
+			name: "zeroed tail page (truncated force)",
+			tear: func(t *testing.T, l *Log) {
+				zeroFrom(t, l, recOff(l, 3))
+			},
+			want: 3,
+		},
+		{
+			name: "garbage length header",
+			tear: func(t *testing.T, l *Log) {
+				garbageAt(t, l, recOff(l, 4)) // clobber record 4's length field
+			},
+			want: 4,
+		},
+		{
+			name: "intact log unaffected",
+			tear: func(t *testing.T, l *Log) {},
+			want: 5,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := build(t)
+			tc.tear(t, l)
+			recs, err := l.Records()
+			if err != nil {
+				t.Fatalf("torn tail errored the scan: %v", err)
+			}
+			if len(recs) != tc.want {
+				t.Fatalf("got %d records, want %d", len(recs), tc.want)
+			}
+			for i, r := range recs {
+				if r.Key != uint64(i) || r.Value != uint64(i*10) {
+					t.Fatalf("intact prefix corrupted at %d: %+v", i, r)
+				}
+			}
+		})
+	}
+}
+
+func corruptAt(t *testing.T, l *Log, off int64) {
+	t.Helper()
+	b := []byte{0xFF}
+	if err := l.f.ReadAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if err := l.f.WriteAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func zeroFrom(t *testing.T, l *Log, off int64) {
+	t.Helper()
+	if err := l.f.WriteAt(make([]byte, l.durable-off), off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func garbageAt(t *testing.T, l *Log, off int64) {
+	t.Helper()
+	if err := l.f.WriteAt([]byte{0xDE, 0xAD, 0xBE, 0xEF}, off); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -252,8 +252,10 @@ func (ix *Index) Concurrent() *core.Concurrent { return core.NewConcurrent(ix.tr
 // ForestOptions configure a sharded PIO forest (OpenForest).
 type ForestOptions struct {
 	// Options are the per-tree knobs; OPQPages and BufferBytes are GLOBAL
-	// budgets that the forest splits evenly across shards. WAL is not yet
-	// supported for forests.
+	// budgets that the forest splits evenly across shards. WAL attaches
+	// one write-ahead log per shard and turns the coordinator's group
+	// flushes into two-phase group commits (one ganged log force before
+	// the data writes, one after).
 	Options
 	// Shards is the number of partitions (default 4).
 	Shards int
@@ -264,6 +266,10 @@ type ForestOptions struct {
 	// RipeFraction is the OPQ fill ratio at which a shard joins a group
 	// flush triggered by another shard (default 0.5).
 	RipeFraction float64
+	// DisableLogGang forces each group-flush member's log serially instead
+	// of ganging the forces (the per-shard baseline the recovery bench
+	// compares against).
+	DisableLogGang bool
 }
 
 // DefaultForestOptions are DefaultOptions spread over 4 shards, with the
@@ -288,18 +294,18 @@ type Forest struct {
 
 // OpenForest creates a fresh sharded PIO forest on dev.
 func OpenForest(dev *Device, opts ForestOptions) (*Forest, error) {
-	if opts.WAL {
-		return nil, fmt.Errorf("pio: WAL is not yet supported for forests")
-	}
 	if opts.Shards <= 0 {
 		opts.Shards = 4
 	}
 	if opts.PageSize == 0 {
 		// Only the tree knobs default; caller-set forest fields
-		// (RangeBounds, RipeFraction, Shards) are preserved. The global
-		// OPQ budget scales with the shard count so every shard keeps the
-		// single-tree queue depth.
+		// (RangeBounds, RipeFraction, Shards) and the non-tuning Options
+		// (WAL, CapacityHint) are preserved. The global OPQ budget scales
+		// with the shard count so every shard keeps the single-tree queue
+		// depth.
+		useWAL, capHint := opts.WAL, opts.CapacityHint
 		opts.Options = DefaultOptions()
+		opts.WAL, opts.CapacityHint = useWAL, capHint
 		opts.OPQPages *= opts.Shards
 	}
 	var part core.Partitioner
@@ -327,6 +333,20 @@ func OpenForest(dev *Device, opts ForestOptions) (*Forest, error) {
 			return nil, err
 		}
 	}
+	var logs []*wal.Log
+	if opts.WAL {
+		logs = make([]*wal.Log, opts.Shards)
+		for i := range logs {
+			wf, err := dev.space.Create(fmt.Sprintf("pio-%d-wal-%d", dev.nextID, i), 16<<20)
+			if err != nil {
+				return nil, err
+			}
+			logs[i], err = wal.NewLog(wf, opts.PageSize)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
 	fr, err := core.NewForest(pfs, core.ForestConfig{
 		Partitioner:  part,
 		RipeFraction: opts.RipeFraction,
@@ -339,6 +359,8 @@ func OpenForest(dev *Device, opts ForestOptions) (*Forest, error) {
 			BCnt:        opts.BCnt,
 			BufferBytes: opts.BufferBytes,
 		},
+		Logs:           logs,
+		DisableLogGang: opts.DisableLogGang,
 	})
 	if err != nil {
 		return nil, err
@@ -402,6 +424,23 @@ func (fx *Forest) Stats() core.ForestStats { return fx.f.Stats() }
 // CheckInvariants validates every shard's on-disk structure and key
 // placement (testing/debugging).
 func (fx *Forest) CheckInvariants() error { return fx.f.CheckInvariants() }
+
+// Sync is an explicit commit point: one ganged force makes the redo
+// records of every buffered operation durable across all shard logs in a
+// single blocking submission. A no-op without WAL.
+func (fx *Forest) Sync(at Ticks) (Ticks, error) { return fx.f.Sync(at) }
+
+// Crash simulates a whole-forest crash: every shard's volatile state
+// (OPQ, LSMap, buffer pool, unforced log tails) is lost; the simulated
+// SSD contents and the forced WAL records remain. Only meaningful with
+// WAL enabled; follow with Recover.
+func (fx *Forest) Crash() { fx.f.Crash() }
+
+// Recover replays every shard's WAL per the paper's Section 3.4 and
+// returns the aggregated per-shard report.
+func (fx *Forest) Recover(at Ticks) (core.ForestRecoveryReport, Ticks, error) {
+	return fx.f.Recover(at)
+}
 
 // Clock is a convenience single timeline for applications that do not
 // track virtual time themselves.
