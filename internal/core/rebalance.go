@@ -1,0 +1,956 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/kv"
+	"repro/internal/vtime"
+	"repro/internal/wal"
+)
+
+// This file implements online shard rebalancing: migrating a key range
+// between two live PIO trees of a Forest while reads and writes keep
+// flowing.
+//
+// Routing is an immutable snapshot swapped atomically: the base Range or
+// Hash partitioner, an ordered list of committed MoveRules, and at most
+// one in-flight migration. The migration carries a FRONTIER: keys in
+// [lo, frontier) already live on the destination shard and route there,
+// keys in [frontier, hi) still route to the source. Every key therefore
+// has exactly one authoritative shard at every instant — lookups
+// "dual-route" by consulting the migration map on top of the base table,
+// and no write can be lost to a stale copy or a resurrected delete.
+//
+// The migration streams keys in bounded chunks under the source shard's
+// virtual lock. One chunk commits with the WAL discipline
+//
+//	copy chunk to dst (redo records append to dst's log)
+//	FORCE dst log                        -- copies durable first
+//	append KeyMoved[chunk] to src log
+//	delete chunk keys from src (redo deletes append to src's log)
+//	FORCE src log                        -- frontier advance durable
+//	publish frontier = chunk end
+//
+// so at any crash point the durable KeyMoved frontier never points at
+// keys the destination could have lost: KeyMoved durable implies the
+// chunk's copies are durable, and the source's deletes durable implies
+// KeyMoved durable (log prefix order). Forest.Recover resumes a
+// half-done migration from the durable frontier, or rolls it back when
+// no chunk ever committed. The final routing-table flip commits through
+// the same ganged group-commit force the flush coordinator uses.
+
+// MoveRule reroutes keys in [Lo, Hi) that the routing so far assigns to
+// shard From onto shard To. Rules apply in commit order, so a later rule
+// observes the rerouting of earlier ones.
+type MoveRule struct {
+	Lo, Hi   kv.Key
+	From, To int
+	// ID is the committing migration's id (monotone across the forest).
+	ID uint64
+}
+
+// migRoute is the in-flight migration's routing state inside a snapshot.
+type migRoute struct {
+	id       uint64
+	lo, hi   kv.Key
+	src, dst int
+	frontier kv.Key // keys in [lo, frontier) already live on dst
+}
+
+// routing is one immutable routing-table snapshot.
+type routing struct {
+	base  Partitioner
+	slots int
+	rules []MoveRule
+	epoch uint64
+	// maxCommitted is the highest migration id already committed or
+	// rolled back; recovery replays only migration records above it.
+	maxCommitted uint64
+	mig          *migRoute
+}
+
+// route resolves the authoritative shard of key k.
+func (rt *routing) route(k kv.Key) int {
+	s := rt.base.Shard(k)
+	for _, r := range rt.rules {
+		if s == r.From && k >= r.Lo && k < r.Hi {
+			s = r.To
+		}
+	}
+	if m := rt.mig; m != nil && s == m.src && k >= m.lo && k < m.frontier {
+		s = m.dst
+	}
+	return s
+}
+
+// RebalancingPartitioner wraps Range or Hash routing with the committed
+// move rules and the in-flight migration map of online rebalancing. All
+// methods are safe for concurrent use: readers load one immutable
+// snapshot, migrations publish new ones.
+type RebalancingPartitioner struct {
+	cur atomic.Pointer[routing]
+}
+
+// NewRebalancingPartitioner wraps base, which must cover exactly slots
+// shards and must not itself be a rebalancing wrapper.
+func NewRebalancingPartitioner(base Partitioner, slots int) (*RebalancingPartitioner, error) {
+	if base == nil {
+		return nil, fmt.Errorf("core: rebalancing partitioner needs a base partitioner")
+	}
+	if _, ok := base.(*RebalancingPartitioner); ok {
+		return nil, fmt.Errorf("core: rebalancing partitioner cannot wrap another rebalancing partitioner")
+	}
+	if base.Shards() != slots {
+		return nil, fmt.Errorf("core: rebalancing base covers %d shards, forest has %d", base.Shards(), slots)
+	}
+	p := &RebalancingPartitioner{}
+	p.cur.Store(&routing{base: base, slots: slots})
+	return p, nil
+}
+
+// Shards returns the physical shard count.
+func (p *RebalancingPartitioner) Shards() int { return p.cur.Load().slots }
+
+// Shard resolves the authoritative shard of k: base routing, then the
+// committed move rules, then the in-flight migration frontier.
+func (p *RebalancingPartitioner) Shard(k kv.Key) int { return p.cur.Load().route(k) }
+
+// RangeShards returns an ascending superset of the shards that may hold
+// keys in [lo, hi): the base set, widened by every overlapping rule and
+// the in-flight migration.
+func (p *RebalancingPartitioner) RangeShards(lo, hi kv.Key) []int {
+	if hi <= lo {
+		return nil
+	}
+	rt := p.cur.Load()
+	in := make(map[int]bool)
+	for _, s := range rt.base.RangeShards(lo, hi) {
+		in[s] = true
+	}
+	for _, r := range rt.rules {
+		if r.Lo < hi && lo < r.Hi && in[r.From] {
+			in[r.To] = true
+		}
+	}
+	if m := rt.mig; m != nil && m.lo < hi && lo < m.hi && in[m.src] {
+		in[m.dst] = true
+	}
+	out := make([]int, 0, len(in))
+	for s := range in {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Base returns the wrapped partitioner.
+func (p *RebalancingPartitioner) Base() Partitioner { return p.cur.Load().base }
+
+// Epoch returns the routing-table version, bumped on every published
+// change (migration start, frontier advance, commit, recovery rebuild).
+func (p *RebalancingPartitioner) Epoch() uint64 { return p.cur.Load().epoch }
+
+// Rules returns a copy of the committed move rules in commit order.
+func (p *RebalancingPartitioner) Rules() []MoveRule {
+	rt := p.cur.Load()
+	out := make([]MoveRule, len(rt.rules))
+	copy(out, rt.rules)
+	return out
+}
+
+// Migrating reports the in-flight migration's source and destination.
+func (p *RebalancingPartitioner) Migrating() (src, dst int, active bool) {
+	if m := p.cur.Load().mig; m != nil {
+		return m.src, m.dst, true
+	}
+	return 0, 0, false
+}
+
+// publish installs next as the current snapshot with a bumped epoch.
+func (p *RebalancingPartitioner) publish(next routing) {
+	next.epoch = p.cur.Load().epoch + 1
+	p.cur.Store(&next)
+}
+
+// RoutingMeta is the durable form of the routing table: what a DBMS
+// catalog would persist alongside the per-shard Meta, and what the
+// KindRoutingSnapshot WAL record carries.
+type RoutingMeta struct {
+	Epoch        uint64
+	MaxCommitted uint64
+	Rules        []MoveRule
+}
+
+// RoutingSnapshot captures the committed routing state (the in-flight
+// migration is volatile and reconstructed from the WAL).
+func (p *RebalancingPartitioner) RoutingSnapshot() RoutingMeta {
+	rt := p.cur.Load()
+	rules := make([]MoveRule, len(rt.rules))
+	copy(rules, rt.rules)
+	return RoutingMeta{Epoch: rt.epoch, MaxCommitted: rt.maxCommitted, Rules: rules}
+}
+
+// RestoreRouting resets the committed routing state from a snapshot
+// (crash harnesses restore the durable catalog, then call Recover).
+func (p *RebalancingPartitioner) RestoreRouting(m RoutingMeta) {
+	rt := p.cur.Load()
+	rules := make([]MoveRule, len(m.Rules))
+	copy(rules, m.Rules)
+	p.cur.Store(&routing{
+		base: rt.base, slots: rt.slots,
+		rules: rules, epoch: m.Epoch, maxCommitted: m.MaxCommitted,
+	})
+}
+
+// encodeRoutingMeta serializes a routing snapshot for the
+// KindRoutingSnapshot WAL record payload.
+func encodeRoutingMeta(m RoutingMeta) []byte {
+	b := make([]byte, 0, 20+len(m.Rules)*24)
+	b = binary.LittleEndian.AppendUint64(b, m.Epoch)
+	b = binary.LittleEndian.AppendUint64(b, m.MaxCommitted)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Rules)))
+	for _, r := range m.Rules {
+		b = binary.LittleEndian.AppendUint64(b, r.Lo)
+		b = binary.LittleEndian.AppendUint64(b, r.Hi)
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.From))
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.To))
+		b = binary.LittleEndian.AppendUint64(b, r.ID)
+	}
+	return b
+}
+
+// decodeRoutingMeta parses a KindRoutingSnapshot payload.
+func decodeRoutingMeta(b []byte) (RoutingMeta, error) {
+	var m RoutingMeta
+	if len(b) < 20 {
+		return m, fmt.Errorf("core: routing snapshot too short (%d bytes)", len(b))
+	}
+	m.Epoch = binary.LittleEndian.Uint64(b)
+	m.MaxCommitted = binary.LittleEndian.Uint64(b[8:])
+	n := int(binary.LittleEndian.Uint32(b[16:]))
+	b = b[20:]
+	if len(b) != n*32 {
+		return m, fmt.Errorf("core: routing snapshot rule payload %d bytes, want %d", len(b), n*32)
+	}
+	m.Rules = make([]MoveRule, n)
+	for i := range m.Rules {
+		m.Rules[i] = MoveRule{
+			Lo:   binary.LittleEndian.Uint64(b),
+			Hi:   binary.LittleEndian.Uint64(b[8:]),
+			From: int(binary.LittleEndian.Uint32(b[16:])),
+			To:   int(binary.LittleEndian.Uint32(b[20:])),
+			ID:   binary.LittleEndian.Uint64(b[24:]),
+		}
+		b = b[32:]
+	}
+	return m, nil
+}
+
+// validateRules rejects rule lists that would misroute.
+func validateRules(rules []MoveRule, slots int) error {
+	for i, r := range rules {
+		if r.Lo >= r.Hi {
+			return fmt.Errorf("core: move rule %d has empty range [%d, %d)", i, r.Lo, r.Hi)
+		}
+		if r.From < 0 || r.From >= slots || r.To < 0 || r.To >= slots {
+			return fmt.Errorf("core: move rule %d targets shard %d->%d outside [0,%d)", i, r.From, r.To, slots)
+		}
+		if r.From == r.To {
+			return fmt.Errorf("core: move rule %d moves shard %d onto itself", i, r.From)
+		}
+	}
+	return nil
+}
+
+// MaxMigrationKey is the exclusive upper bound used by SplitShard and
+// MergeShards to cover a shard's whole upper key space. The single key
+// ^uint64(0) itself is never migrated (half-open ranges throughout).
+const MaxMigrationKey = ^kv.Key(0)
+
+// Migration is one in-flight key-range move between two live shards.
+// Obtain one with Forest.StartMigration and drive it with Step — each
+// step moves one bounded chunk, so the caller chooses the interleaving
+// with foreground traffic. SplitShard and MergeShards drive a migration
+// to completion in one call.
+type Migration struct {
+	f        *Forest
+	id       uint64
+	lo, hi   kv.Key
+	src, dst int
+	// bounds are the planned chunk boundaries: chunk i covers
+	// [bounds[i], bounds[i+1]).
+	bounds []kv.Key
+	idx    int
+	moved  int64
+	done   bool
+}
+
+// Done reports whether the migration has committed.
+func (m *Migration) Done() bool { return m.done }
+
+// Moved returns the number of keys migrated so far.
+func (m *Migration) Moved() int64 { return m.moved }
+
+// Range returns the migrating key range and the shard pair.
+func (m *Migration) Range() (lo, hi kv.Key, src, dst int) {
+	return m.lo, m.hi, m.src, m.dst
+}
+
+// migrationLogs returns the distinct logs of the shard pair (nil entries
+// dropped; one entry when the shards share a log).
+func (f *Forest) migrationLogs(src, dst int) []*wal.Log {
+	var logs []*wal.Log
+	if l := f.shards[src].tree.log; l != nil {
+		logs = append(logs, l)
+	}
+	if l := f.shards[dst].tree.log; l != nil && (len(logs) == 0 || l != logs[0]) {
+		logs = append(logs, l)
+	}
+	return logs
+}
+
+// StartMigration begins moving the keys of [lo, hi) that currently route
+// to shard src onto shard dst. It plans the chunk schedule from a timed
+// range scan of the source, makes the MigrationStart record durable
+// through the ganged force, and publishes the migration into the routing
+// table with frontier = lo. At most one migration may be in flight.
+func (f *Forest) StartMigration(at vtime.Ticks, lo, hi kv.Key, src, dst int) (*Migration, vtime.Ticks, error) {
+	if err := f.checkDamaged(); err != nil {
+		return nil, at, err
+	}
+	n := len(f.shards)
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil, at, fmt.Errorf("core: migration shards %d->%d outside [0,%d)", src, dst, n)
+	}
+	if src == dst {
+		return nil, at, fmt.Errorf("core: migration source and destination are both shard %d", src)
+	}
+	if hi <= lo {
+		return nil, at, fmt.Errorf("core: migration range [%d, %d) is empty", lo, hi)
+	}
+	if !f.rebalanceActive.CompareAndSwap(false, true) {
+		return nil, at, fmt.Errorf("core: a migration is already in flight")
+	}
+	m, done, err := f.startMigrationLocked(at, lo, hi, src, dst)
+	if err != nil {
+		f.rebalanceActive.Store(false)
+		return nil, done, err
+	}
+	return m, done, nil
+}
+
+func (f *Forest) startMigrationLocked(at vtime.Ticks, lo, hi kv.Key, src, dst int) (*Migration, vtime.Ticks, error) {
+	f.migMu.Lock()
+	defer f.migMu.Unlock()
+	s := f.shards[src]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Plan the chunk schedule: a timed scan of the source range yields the
+	// key population; every chunk-th key becomes a boundary. Keys inserted
+	// mid-migration fall inside an existing chunk range and are picked up
+	// when that chunk streams.
+	start := s.vlock.Acquire(at)
+	recs, done, err := s.tree.RangeSearch(start, lo, hi)
+	if err != nil {
+		s.vlock.Release(done)
+		return nil, done, err
+	}
+	chunk := f.migChunk
+	bounds := []kv.Key{lo}
+	for i := chunk; i < len(recs); i += chunk {
+		if k := recs[i].Key; k > bounds[len(bounds)-1] && k < hi {
+			bounds = append(bounds, k)
+		}
+	}
+	bounds = append(bounds, hi)
+
+	m := &Migration{f: f, id: f.nextMigrationID(), lo: lo, hi: hi, src: src, dst: dst, bounds: bounds}
+	if logs := f.migrationLogs(src, dst); len(logs) > 0 {
+		for _, si := range []int{src, dst} {
+			if l := f.shards[si].tree.log; l != nil {
+				l.Append(wal.Record{
+					Kind: wal.KindMigrationStart, Relation: f.shards[si].tree.cfg.Relation,
+					FlushID: m.id, KeyLo: lo, KeyHi: hi, Key: uint64(src), Value: uint64(dst),
+				})
+			}
+		}
+		// The start record commits through the same ganged force as the
+		// flush coordinator's group commit.
+		done, err = f.forceLogs(done, logs)
+		if err != nil {
+			s.vlock.Release(done)
+			return nil, done, err
+		}
+	}
+	rt := f.rpart.cur.Load()
+	next := *rt
+	next.mig = &migRoute{id: m.id, lo: lo, hi: hi, src: src, dst: dst, frontier: lo}
+	f.rpart.publish(next)
+	s.vlock.Release(done)
+	return m, done, nil
+}
+
+// nextMigrationID hands out forest-unique migration ids above everything
+// committed or observed so far.
+func (f *Forest) nextMigrationID() uint64 {
+	for {
+		cur := f.migIDSeq.Load()
+		next := cur + 1
+		if rt := f.rpart.cur.Load(); rt.maxCommitted >= cur {
+			next = rt.maxCommitted + 1
+		}
+		if f.migIDSeq.CompareAndSwap(cur, next) {
+			return next
+		}
+	}
+}
+
+// Step advances the migration by one unit: each call streams one chunk
+// (copying its keys to the destination and committing the frontier
+// advance per the chunk WAL discipline); once every chunk has streamed,
+// one final call commits the routing flip. Returns whether the
+// migration is done. The forest keeps serving during and between steps;
+// only the chunk's shard pair is locked while a step runs.
+func (m *Migration) Step(at vtime.Ticks) (bool, vtime.Ticks, error) {
+	if m.done {
+		return true, at, nil
+	}
+	f := m.f
+	if err := f.checkDamaged(); err != nil {
+		return false, at, err
+	}
+	if m.idx < len(m.bounds)-1 {
+		done, err := f.migrateChunk(at, m)
+		if err != nil {
+			return false, done, err
+		}
+		m.idx++
+		return false, done, nil
+	}
+	done, err := f.commitMigration(at, m)
+	if err != nil {
+		return false, done, err
+	}
+	m.done = true
+	return true, done, nil
+}
+
+// checkMigrationLive rejects steps on a stale Migration handle: a Crash
+// (and the Recover that resolves the move from its durable records)
+// drops the in-flight migration from the routing table, so the handle's
+// id no longer matches and continuing would corrupt routing.
+func (f *Forest) checkMigrationLive(m *Migration) error {
+	if mig := f.rpart.cur.Load().mig; mig == nil || mig.id != m.id {
+		return fmt.Errorf("core: migration %d is no longer in flight (a crash or recovery resolved it); discard this handle", m.id)
+	}
+	return nil
+}
+
+// lockPair locks the two shards in ascending index order (the same
+// discipline as the flush coordinator, so the two can never deadlock).
+func (f *Forest) lockPair(a, b int) func() {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	f.shards[lo].mu.Lock()
+	f.shards[hi].mu.Lock()
+	return func() {
+		f.shards[hi].mu.Unlock()
+		f.shards[lo].mu.Unlock()
+	}
+}
+
+// migrateChunk moves one chunk [bounds[idx], bounds[idx+1]) under the
+// source shard's virtual lock, following the chunk WAL discipline
+// documented at the top of this file.
+func (f *Forest) migrateChunk(at vtime.Ticks, m *Migration) (vtime.Ticks, error) {
+	f.migMu.Lock()
+	defer f.migMu.Unlock()
+	unlock := f.lockPair(m.src, m.dst)
+	defer unlock()
+	if err := f.checkMigrationLive(m); err != nil {
+		return at, err
+	}
+	src, dst := f.shards[m.src], f.shards[m.dst]
+	a, b := m.bounds[m.idx], m.bounds[m.idx+1]
+
+	start := src.vlock.Acquire(at)
+	defer func() { src.vlock.Release(start) }()
+	recs, now, err := src.tree.RangeSearch(start, a, b)
+	if err != nil {
+		start = now
+		return now, err
+	}
+	// Copy to the destination: redo records append to dst's log; a full
+	// destination OPQ flushes through the ordinary tree path.
+	opq := dst.vopq.Acquire(now)
+	for _, r := range recs {
+		opq, err = dst.tree.Insert(opq, r)
+		if err != nil {
+			dst.vopq.Release(opq)
+			f.setDamaged(err)
+			start = opq
+			return opq, err
+		}
+	}
+	dst.vopq.Release(opq)
+	now = opq
+	// Chunk phase 1: the copies must be durable before the frontier
+	// record can be. A lost dst tail after a durable KeyMoved would strand
+	// keys the source is about to delete.
+	if dst.tree.log != nil {
+		now, err = dst.tree.log.Force(now)
+		if err != nil {
+			f.setDamaged(err)
+			start = now
+			return now, err
+		}
+	}
+	// Chunk phase 2: frontier record first, then the source deletes — the
+	// log prefix order then guarantees any durable delete is covered by a
+	// durable KeyMoved (and thus by durable copies).
+	if src.tree.log != nil {
+		src.tree.log.Append(wal.Record{
+			Kind: wal.KindKeyMoved, Relation: src.tree.cfg.Relation,
+			FlushID: m.id, KeyLo: a, KeyHi: b, Key: uint64(m.src), Value: uint64(m.dst),
+		})
+	}
+	for _, r := range recs {
+		now, err = src.tree.Delete(now, r.Key)
+		if err != nil {
+			f.setDamaged(err)
+			start = now
+			return now, err
+		}
+	}
+	if src.tree.log != nil {
+		now, err = src.tree.log.Force(now)
+		if err != nil {
+			f.setDamaged(err)
+			start = now
+			return now, err
+		}
+	}
+	// Publish the frontier advance: keys in [lo, b) now route to dst.
+	rt := f.rpart.cur.Load()
+	next := *rt
+	mig := *rt.mig
+	mig.frontier = b
+	next.mig = &mig
+	f.rpart.publish(next)
+	m.moved += int64(len(recs))
+	f.keysMigrated.Add(int64(len(recs)))
+	start = now
+	return now, nil
+}
+
+// commitMigration makes the routing flip durable (MigrationEnd through
+// the ganged force) and publishes the committed rule.
+func (f *Forest) commitMigration(at vtime.Ticks, m *Migration) (vtime.Ticks, error) {
+	f.migMu.Lock()
+	defer f.migMu.Unlock()
+	unlock := f.lockPair(m.src, m.dst)
+	defer unlock()
+	if err := f.checkMigrationLive(m); err != nil {
+		return at, err
+	}
+	done := at
+	if logs := f.migrationLogs(m.src, m.dst); len(logs) > 0 {
+		for _, si := range []int{m.src, m.dst} {
+			if l := f.shards[si].tree.log; l != nil {
+				l.Append(wal.Record{
+					Kind: wal.KindMigrationEnd, Relation: f.shards[si].tree.cfg.Relation,
+					FlushID: m.id, KeyLo: m.lo, KeyHi: m.hi,
+					Key: uint64(m.src), Value: uint64(m.dst), Op: wal.OpType('c'),
+				})
+			}
+		}
+		var err error
+		done, err = f.forceLogs(done, logs)
+		if err != nil {
+			f.setDamaged(err)
+			return done, err
+		}
+	}
+	rt := f.rpart.cur.Load()
+	next := *rt
+	next.rules = append(append([]MoveRule(nil), rt.rules...),
+		MoveRule{Lo: m.lo, Hi: m.hi, From: m.src, To: m.dst, ID: m.id})
+	next.maxCommitted = m.id
+	next.mig = nil
+	f.rpart.publish(next)
+	f.migrations.Add(1)
+	f.rebalanceActive.Store(false)
+	return done, nil
+}
+
+// SplitShard carves shard i at boundary: every key >= boundary that
+// currently routes to i migrates to the least-loaded other shard, which
+// is returned. The migration runs to completion before returning; use
+// StartMigration/Step to interleave chunks with foreground work.
+func (f *Forest) SplitShard(at vtime.Ticks, i int, boundary kv.Key) (int, vtime.Ticks, error) {
+	dst, err := f.coldestShard(i)
+	if err != nil {
+		return -1, at, err
+	}
+	m, done, err := f.StartMigration(at, boundary, MaxMigrationKey, i, dst)
+	if err != nil {
+		return -1, done, err
+	}
+	done, err = m.Drain(done)
+	return dst, done, err
+}
+
+// MergeShards migrates every key routed to shard j into shard i, leaving
+// j empty (and a natural destination for a later split). The migration
+// runs to completion before returning.
+func (f *Forest) MergeShards(at vtime.Ticks, i, j int) (vtime.Ticks, error) {
+	if i == j {
+		return at, fmt.Errorf("core: cannot merge shard %d into itself", i)
+	}
+	m, done, err := f.StartMigration(at, 0, MaxMigrationKey, j, i)
+	if err != nil {
+		return done, err
+	}
+	return m.Drain(done)
+}
+
+// Drain steps the migration to completion and returns the commit time.
+func (m *Migration) Drain(at vtime.Ticks) (vtime.Ticks, error) {
+	for {
+		done, next, err := m.Step(at)
+		if err != nil {
+			return next, err
+		}
+		at = next
+		if done {
+			return at, nil
+		}
+	}
+}
+
+// coldestShard picks the shard (other than excluded) holding the fewest
+// keys, preferring emptied merge targets as split destinations.
+func (f *Forest) coldestShard(exclude int) (int, error) {
+	best, bestKeys := -1, int64(0)
+	for i, s := range f.shards {
+		if i == exclude {
+			continue
+		}
+		s.mu.Lock()
+		n := s.tree.Count()
+		s.mu.Unlock()
+		if best < 0 || n < bestKeys {
+			best, bestKeys = i, n
+		}
+	}
+	if best < 0 {
+		return -1, fmt.Errorf("core: forest has no destination shard to rebalance onto")
+	}
+	return best, nil
+}
+
+// RebalancePolicy drives Forest.AutoRebalance off the per-shard load
+// stats.
+type RebalancePolicy struct {
+	// MinOps is the minimum routed operations the hottest shard must have
+	// absorbed since the last AutoRebalance call (default 1000).
+	MinOps int64
+	// HotFactor is the hottest/mean load ratio that triggers a split
+	// (default 2.0).
+	HotFactor float64
+}
+
+// AutoRebalance inspects the per-shard load deltas since its last call
+// and, when one shard absorbs disproportionate traffic, splits it at its
+// approximate median key toward the coldest shard. Returns whether a
+// migration ran and the shard pair.
+func (f *Forest) AutoRebalance(at vtime.Ticks, pol RebalancePolicy) (moved bool, from, to int, done vtime.Ticks, err error) {
+	if pol.MinOps <= 0 {
+		pol.MinOps = 1000
+	}
+	if pol.HotFactor <= 1 {
+		pol.HotFactor = 2.0
+	}
+	n := len(f.shards)
+	deltas := make([]int64, n)
+	var total int64
+	f.autoMu.Lock()
+	if len(f.lastOps) != n {
+		f.lastOps = make([]int64, n)
+	}
+	for i, s := range f.shards {
+		s.mu.Lock()
+		ops := s.ops
+		s.mu.Unlock()
+		deltas[i] = ops - f.lastOps[i]
+		f.lastOps[i] = ops
+		total += deltas[i]
+	}
+	f.autoMu.Unlock()
+	hot := 0
+	for i := 1; i < n; i++ {
+		if deltas[i] > deltas[hot] {
+			hot = i
+		}
+	}
+	mean := float64(total) / float64(n)
+	if deltas[hot] < pol.MinOps || float64(deltas[hot]) <= pol.HotFactor*mean {
+		return false, -1, -1, at, nil
+	}
+	s := f.shards[hot]
+	s.mu.Lock()
+	boundary, ok := s.tree.ApproxMedianKey()
+	s.mu.Unlock()
+	if !ok {
+		return false, -1, -1, at, nil
+	}
+	dst, done, err := f.SplitShard(at, hot, boundary)
+	if err != nil {
+		return false, hot, dst, done, err
+	}
+	return true, hot, dst, done, nil
+}
+
+// migrationEvent accumulates one migration's durable records during the
+// recovery scan.
+type migrationEvent struct {
+	id       uint64
+	lo, hi   kv.Key
+	src, dst int
+	started  bool
+	frontier kv.Key
+	end      byte // 'c' committed, 'a' aborted, 0 open
+}
+
+// recoverRouting rebuilds the routing table from the durable log and
+// resolves any half-done migration: committed moves re-apply their rule,
+// a move with at least one durable chunk resumes from the frontier, and
+// a move that never committed a chunk rolls back. Runs after the
+// per-shard replay, which has already rebuilt both trees' contents from
+// their redo records.
+func (f *Forest) recoverRouting(at vtime.Ticks, rep *ForestRecoveryReport) (vtime.Ticks, error) {
+	// Scan every distinct log once; dedupe records that land in both the
+	// source and destination logs (or twice in a shared log).
+	snap := f.rpart.RoutingSnapshot()
+	events := make(map[uint64]*migrationEvent)
+	for _, l := range f.logs {
+		recs, err := l.Records()
+		if err != nil {
+			return at, err
+		}
+		for _, r := range recs {
+			switch r.Kind {
+			case wal.KindRoutingSnapshot:
+				m, err := decodeRoutingMeta(r.UndoInfo)
+				if err != nil {
+					return at, err
+				}
+				if m.MaxCommitted > snap.MaxCommitted {
+					snap = m
+				}
+			case wal.KindMigrationStart, wal.KindKeyMoved, wal.KindMigrationEnd:
+				ev := events[r.FlushID]
+				if ev == nil {
+					ev = &migrationEvent{id: r.FlushID}
+					events[r.FlushID] = ev
+				}
+				switch r.Kind {
+				case wal.KindMigrationStart:
+					ev.started = true
+					ev.lo, ev.hi = r.KeyLo, r.KeyHi
+					ev.src, ev.dst = int(r.Key), int(r.Value)
+					if ev.frontier < r.KeyLo {
+						ev.frontier = r.KeyLo
+					}
+				case wal.KindKeyMoved:
+					if r.KeyHi > ev.frontier {
+						ev.frontier = r.KeyHi
+					}
+				case wal.KindMigrationEnd:
+					ev.end = byte(r.Op)
+				}
+			}
+		}
+	}
+	if err := validateRules(snap.Rules, len(f.shards)); err != nil {
+		return at, err
+	}
+	rules := snap.Rules
+	maxCommitted := snap.MaxCommitted
+	// The in-memory routing may already be ahead of the durable snapshot
+	// (in-place recovery): committed rules are only ever published after
+	// their MigrationEnd was forced, so preferring the higher
+	// maxCommitted source is safe either way.
+	if cur := f.rpart.cur.Load(); cur.maxCommitted > maxCommitted {
+		rules = append([]MoveRule(nil), cur.rules...)
+		maxCommitted = cur.maxCommitted
+	}
+	ids := make([]uint64, 0, len(events))
+	for id := range events {
+		if id > maxCommitted {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var err error
+	for _, id := range ids {
+		ev := events[id]
+		if !ev.started {
+			continue
+		}
+		switch ev.end {
+		case 'c':
+			rules = append(rules, MoveRule{Lo: ev.lo, Hi: ev.hi, From: ev.src, To: ev.dst, ID: ev.id})
+			maxCommitted = ev.id
+		case 'a':
+			maxCommitted = ev.id
+		default:
+			rules, at, err = f.resolveMigration(at, ev, rules, rep)
+			if err != nil {
+				return at, err
+			}
+			maxCommitted = ev.id
+		}
+	}
+	rt := f.rpart.cur.Load()
+	f.rpart.publish(routing{
+		base: rt.base, slots: rt.slots,
+		rules: rules, maxCommitted: maxCommitted,
+	})
+	if seq := f.migIDSeq.Load(); seq < maxCommitted {
+		f.migIDSeq.Store(maxCommitted)
+	}
+	f.rebalanceActive.Store(false)
+	return at, nil
+}
+
+// resolveMigration finishes a migration the crash interrupted. The
+// durable frontier partitions the range: [lo, frontier) is authoritative
+// on dst (stale source copies are purged), [frontier, hi) on src
+// (uncommitted destination remnants are purged). With no durable chunk
+// the move rolls back; otherwise the remainder is re-streamed and the
+// flip committed. All I/O is timed — it is part of the recovery cost.
+func (f *Forest) resolveMigration(at vtime.Ticks, ev *migrationEvent, rules []MoveRule, rep *ForestRecoveryReport) ([]MoveRule, vtime.Ticks, error) {
+	n := len(f.shards)
+	if ev.src < 0 || ev.src >= n || ev.dst < 0 || ev.dst >= n || ev.src == ev.dst {
+		return rules, at, fmt.Errorf("core: migration %d recovers invalid shard pair %d->%d", ev.id, ev.src, ev.dst)
+	}
+	unlock := f.lockPair(ev.src, ev.dst)
+	defer unlock()
+	src, dst := f.shards[ev.src], f.shards[ev.dst]
+	// routeSoFar resolves routing as of the rules committed before this
+	// migration — the authority the purge filters check against.
+	routeSoFar := func(k kv.Key) int {
+		rt := routing{base: f.rpart.cur.Load().base, rules: rules}
+		return rt.route(k)
+	}
+
+	// Purge stale source copies below the frontier: their deletes were in
+	// the crashed chunk's (or purge's) volatile tail.
+	recs, done, err := src.tree.RangeSearch(at, ev.lo, ev.frontier)
+	if err != nil {
+		return rules, done, err
+	}
+	for _, r := range recs {
+		done, err = src.tree.Delete(done, r.Key)
+		if err != nil {
+			return rules, done, err
+		}
+		rep.MigrationKeysPurged++
+	}
+	// Purge uncommitted destination remnants at or above the frontier —
+	// but only keys the pre-migration routing assigns to the source; under
+	// hash routing the destination legitimately holds its own keys inside
+	// the migrating range.
+	recs, done, err = dst.tree.RangeSearch(done, ev.frontier, ev.hi)
+	if err != nil {
+		return rules, done, err
+	}
+	for _, r := range recs {
+		if routeSoFar(r.Key) != ev.src {
+			continue
+		}
+		done, err = dst.tree.Delete(done, r.Key)
+		if err != nil {
+			return rules, done, err
+		}
+		rep.MigrationKeysPurged++
+	}
+	logs := f.migrationLogs(ev.src, ev.dst)
+	if ev.frontier <= ev.lo {
+		// No chunk ever committed: roll the move back entirely.
+		for _, si := range []int{ev.src, ev.dst} {
+			if l := f.shards[si].tree.log; l != nil {
+				l.Append(wal.Record{
+					Kind: wal.KindMigrationEnd, Relation: f.shards[si].tree.cfg.Relation,
+					FlushID: ev.id, KeyLo: ev.lo, KeyHi: ev.hi,
+					Key: uint64(ev.src), Value: uint64(ev.dst), Op: wal.OpType('a'),
+				})
+			}
+		}
+		if len(logs) > 0 {
+			done, err = f.forceLogs(done, logs)
+			if err != nil {
+				return rules, done, err
+			}
+		}
+		rep.RolledBackMigrations++
+		return rules, done, nil
+	}
+	// At least one chunk committed: resume. Re-stream [frontier, hi) as
+	// one recovery chunk with the usual discipline, then commit the flip.
+	recs, done, err = src.tree.RangeSearch(done, ev.frontier, ev.hi)
+	if err != nil {
+		return rules, done, err
+	}
+	for _, r := range recs {
+		done, err = dst.tree.Insert(done, r)
+		if err != nil {
+			return rules, done, err
+		}
+		rep.MigrationKeysMoved++
+	}
+	if dst.tree.log != nil {
+		done, err = dst.tree.log.Force(done)
+		if err != nil {
+			return rules, done, err
+		}
+	}
+	if src.tree.log != nil && len(recs) > 0 {
+		src.tree.log.Append(wal.Record{
+			Kind: wal.KindKeyMoved, Relation: src.tree.cfg.Relation,
+			FlushID: ev.id, KeyLo: ev.frontier, KeyHi: ev.hi,
+			Key: uint64(ev.src), Value: uint64(ev.dst),
+		})
+	}
+	for _, r := range recs {
+		done, err = src.tree.Delete(done, r.Key)
+		if err != nil {
+			return rules, done, err
+		}
+	}
+	for _, si := range []int{ev.src, ev.dst} {
+		if l := f.shards[si].tree.log; l != nil {
+			l.Append(wal.Record{
+				Kind: wal.KindMigrationEnd, Relation: f.shards[si].tree.cfg.Relation,
+				FlushID: ev.id, KeyLo: ev.lo, KeyHi: ev.hi,
+				Key: uint64(ev.src), Value: uint64(ev.dst), Op: wal.OpType('c'),
+			})
+		}
+	}
+	if len(logs) > 0 {
+		done, err = f.forceLogs(done, logs)
+		if err != nil {
+			return rules, done, err
+		}
+	}
+	rules = append(rules, MoveRule{Lo: ev.lo, Hi: ev.hi, From: ev.src, To: ev.dst, ID: ev.id})
+	rep.ResumedMigrations++
+	return rules, done, nil
+}

@@ -206,6 +206,37 @@ func (t *Tree) Fanout() int { return maxInternalKeys(t.cfg.PageSize) + 1 }
 // LeafCapacity returns the entry capacity of one leaf.
 func (t *Tree) LeafCapacity() int { return leafCap(t.cfg.PageSize, t.cfg.LeafSegs) }
 
+// ApproxMedianKey returns a key that roughly halves the tree's key
+// population: the middle separator of the root node, or the middle live
+// record of a root leaf. AutoRebalance uses it to pick a split boundary
+// without a full scan; the planning read has no simulated cost.
+func (t *Tree) ApproxMedianKey() (kv.Key, bool) {
+	if t.height == 1 {
+		l, err := t.readWholeLeafNoCost(t.root)
+		if err != nil {
+			return 0, false
+		}
+		recs := l.liveRecords()
+		if len(recs) == 0 {
+			ents := t.opq.Entries()
+			if len(ents) == 0 {
+				return 0, false
+			}
+			return ents[len(ents)/2].Rec.Key, true
+		}
+		return recs[len(recs)/2].Key, true
+	}
+	buf := make([]byte, t.cfg.PageSize)
+	if err := t.pf.ReadPageNoCost(t.root, buf); err != nil {
+		return 0, false
+	}
+	n, err := decodeInternal(t.root, buf)
+	if err != nil || len(n.keys) == 0 {
+		return 0, false
+	}
+	return n.keys[len(n.keys)/2], true
+}
+
 // allocLeaf allocates LeafSegs consecutive pages and returns the first id.
 func (t *Tree) allocLeaf() pagefile.PageID { return t.pf.AllocRun(t.cfg.LeafSegs) }
 

@@ -48,6 +48,22 @@ const (
 	KindCommit
 	// KindCheckpoint marks a checkpoint (OPQ fully flushed).
 	KindCheckpoint
+	// KindMigrationStart opens an online shard migration: keys in
+	// [KeyLo, KeyHi) move from shard Key to shard Value (forest-level
+	// record; FlushID carries the migration id).
+	KindMigrationStart
+	// KindKeyMoved commits one migration chunk: the keys in [KeyLo, KeyHi)
+	// are durably copied to the destination and the routing frontier
+	// advances to KeyHi. Appended to the source shard's log only after the
+	// destination's copies were forced.
+	KindKeyMoved
+	// KindMigrationEnd closes a migration: Op 'c' commits the routing-table
+	// flip, Op 'a' records a rollback.
+	KindMigrationEnd
+	// KindRoutingSnapshot persists the forest routing table (UndoInfo holds
+	// the encoded rule list), so log head truncation never strands the
+	// routing state reconstruction.
+	KindRoutingSnapshot
 )
 
 // String names the kind.
@@ -65,6 +81,14 @@ func (k Kind) String() string {
 		return "commit"
 	case KindCheckpoint:
 		return "checkpoint"
+	case KindMigrationStart:
+		return "migration-start"
+	case KindKeyMoved:
+		return "key-moved"
+	case KindMigrationEnd:
+		return "migration-end"
+	case KindRoutingSnapshot:
+		return "routing-snapshot"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -190,10 +214,14 @@ type Log struct {
 
 	mu      sync.Mutex
 	nextLSN uint64
-	durable int64  // durable log-content bytes
+	head    int64  // byte offset of the live log head (record boundary)
+	durable int64  // durable log-content bytes (end offset)
 	partial []byte // durable content of the trailing, partially filled page
 	tail    []byte // appended but not yet forced
 	forced  uint64 // LSN up to which records are durable (exclusive next)
+
+	// truncated accumulates the bytes dropped by TruncateHead.
+	truncated int64
 
 	// ForceWrites counts blocking device submissions issued by Force (one
 	// per non-empty call); participations in a ForceGroup gang count on
@@ -361,8 +389,59 @@ func ForceGroup(at vtime.Ticks, logs []*Log) (vtime.Ticks, int, error) {
 	return done, len(members), nil
 }
 
-// Records decodes every durable record, in append order. Used by recovery
-// (the in-memory tail is, by definition, lost in a crash).
+// TruncateHead drops every durable record with LSN < beforeLSN from the
+// log head, stopping early at the first surviving record (log order is
+// LSN order). Records() and recovery then scan only the surviving
+// suffix. The caller must guarantee the dropped prefix is dead: every
+// shard recovering from this log has a durable checkpoint at or past
+// beforeLSN, and no migration protocol still needs its control records
+// (the forest checkpoint enforces both). Returns the bytes reclaimed.
+//
+// The truncation is a head-pointer move, not a device rewrite: the
+// simulated file keeps its contents, matching a real implementation that
+// recycles whole head extents lazily.
+func (l *Log) TruncateHead(beforeLSN uint64) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.durable <= l.head {
+		return 0, nil
+	}
+	buf := make([]byte, l.durable-l.head)
+	if err := l.f.ReadAt(buf, l.head); err != nil {
+		return 0, err
+	}
+	var cut int64
+	for len(buf) > 0 {
+		r, n, err := unmarshal(buf)
+		if err != nil || r.LSN >= beforeLSN {
+			break
+		}
+		cut += int64(n)
+		buf = buf[n:]
+	}
+	l.head += cut
+	l.truncated += cut
+	return cut, nil
+}
+
+// TruncatedBytes returns the total bytes reclaimed by TruncateHead.
+func (l *Log) TruncatedBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.truncated
+}
+
+// LiveBytes returns the durable log bytes between the truncated head and
+// the durable end (what recovery would scan).
+func (l *Log) LiveBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durable - l.head
+}
+
+// Records decodes every durable record past the truncated head, in append
+// order. Used by recovery (the in-memory tail is, by definition, lost in
+// a crash).
 //
 // A torn tail — a truncated or CRC-corrupt record left by a force that
 // was interrupted by the crash — ends the scan at the last intact record
@@ -372,9 +451,9 @@ func ForceGroup(at vtime.Ticks, logs []*Log) (vtime.Ticks, int, error) {
 func (l *Log) Records() ([]Record, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	buf := make([]byte, l.durable)
-	if l.durable > 0 {
-		if err := l.f.ReadAt(buf, 0); err != nil {
+	buf := make([]byte, l.durable-l.head)
+	if len(buf) > 0 {
+		if err := l.f.ReadAt(buf, l.head); err != nil {
 			return nil, err
 		}
 	}

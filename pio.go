@@ -270,7 +270,25 @@ type ForestOptions struct {
 	// of ganging the forces (the per-shard baseline the recovery bench
 	// compares against).
 	DisableLogGang bool
+	// MigrationChunk bounds the keys streamed per online-rebalancing
+	// chunk (default 256).
+	MigrationChunk int
+	// DisableLogTruncation keeps the full WAL history; by default a
+	// forest checkpoint truncates each log's dead head.
+	DisableLogTruncation bool
 }
+
+// RebalancePolicy drives Forest.AutoRebalance off the per-shard load
+// stats.
+type RebalancePolicy = core.RebalancePolicy
+
+// Migration is an in-flight online key-range move; see
+// Forest.StartMigration.
+type Migration = core.Migration
+
+// MoveRule is one committed routing-table override; see
+// core.RebalancingPartitioner.
+type MoveRule = core.MoveRule
 
 // DefaultForestOptions are DefaultOptions spread over 4 shards, with the
 // global OPQ budget scaled so each shard keeps the single-tree queue
@@ -359,8 +377,10 @@ func OpenForest(dev *Device, opts ForestOptions) (*Forest, error) {
 			BCnt:        opts.BCnt,
 			BufferBytes: opts.BufferBytes,
 		},
-		Logs:           logs,
-		DisableLogGang: opts.DisableLogGang,
+		Logs:                 logs,
+		DisableLogGang:       opts.DisableLogGang,
+		MigrationChunk:       opts.MigrationChunk,
+		DisableLogTruncation: opts.DisableLogTruncation,
 	})
 	if err != nil {
 		return nil, err
@@ -429,6 +449,41 @@ func (fx *Forest) CheckInvariants() error { return fx.f.CheckInvariants() }
 // records of every buffered operation durable across all shard logs in a
 // single blocking submission. A no-op without WAL.
 func (fx *Forest) Sync(at Ticks) (Ticks, error) { return fx.f.Sync(at) }
+
+// SplitShard carves shard i at boundary while the forest keeps serving:
+// every key >= boundary that routes to i migrates in bounded chunks to
+// the least-loaded other shard (returned). The routing flip commits
+// through the WAL group-commit path; a crash mid-move is resumed or
+// rolled back by Recover.
+func (fx *Forest) SplitShard(at Ticks, i int, boundary Key) (int, Ticks, error) {
+	return fx.f.SplitShard(at, i, boundary)
+}
+
+// MergeShards migrates every key routed to shard j into shard i while
+// serving, leaving j empty — a natural destination for a later split.
+func (fx *Forest) MergeShards(at Ticks, i, j int) (Ticks, error) {
+	return fx.f.MergeShards(at, i, j)
+}
+
+// StartMigration begins moving the keys of [lo, hi) that route to shard
+// src onto shard dst and returns the in-flight move; drive it with
+// Step to interleave chunks with foreground work. SplitShard and
+// MergeShards wrap this and run to completion.
+func (fx *Forest) StartMigration(at Ticks, lo, hi Key, src, dst int) (*Migration, Ticks, error) {
+	return fx.f.StartMigration(at, lo, hi, src, dst)
+}
+
+// AutoRebalance splits the hottest shard at its approximate median key
+// when the per-shard load stats show it absorbing disproportionate
+// traffic since the last call. Returns whether a migration ran and the
+// shard pair.
+func (fx *Forest) AutoRebalance(at Ticks, pol RebalancePolicy) (moved bool, from, to int, done Ticks, err error) {
+	return fx.f.AutoRebalance(at, pol)
+}
+
+// Routing exposes the forest's routing table (epoch, committed move
+// rules, in-flight migration).
+func (fx *Forest) Routing() *core.RebalancingPartitioner { return fx.f.Routing() }
 
 // Crash simulates a whole-forest crash: every shard's volatile state
 // (OPQ, LSMap, buffer pool, unforced log tails) is lost; the simulated
