@@ -26,7 +26,7 @@ import (
 //     which is what the experiments measure.
 type Concurrent struct {
 	mu   sync.Mutex
-	tree *Tree
+	tree *Tree // guarded by mu
 
 	// vlock models the index-exclusive lock in virtual time.
 	vlock vtime.Mutex

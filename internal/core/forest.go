@@ -251,7 +251,9 @@ type Forest struct {
 	migChunk        int
 	truncateLogs    bool
 	autoMu          sync.Mutex
-	lastOps         []int64
+	// lastOps is the per-shard op count at the previous AutoRebalance
+	// poll (guarded by autoMu).
+	lastOps []int64
 
 	// logs are the distinct attached WALs (empty without logging);
 	// logGangEnabled selects ganged vs serial group-commit forces;
@@ -637,6 +639,7 @@ func (f *Forest) update(at vtime.Ticks, e kv.Entry) (vtime.Ticks, error) {
 		}
 		at = done
 	}
+	//lint:ignore guardedby lockOwner returned with s.mu held for this shard
 	s.ops++
 	// The short per-shard OPQ lock covers the append (and the occasional
 	// periodic sort inside it), as in the single-tree scheme.

@@ -45,6 +45,8 @@ import (
 // MoveRule reroutes keys in [Lo, Hi) that the routing so far assigns to
 // shard From onto shard To. Rules apply in commit order, so a later rule
 // observes the rerouting of earlier ones.
+//
+//lint:immutable
 type MoveRule struct {
 	Lo, Hi   kv.Key
 	From, To int
@@ -53,6 +55,8 @@ type MoveRule struct {
 }
 
 // migRoute is the in-flight migration's routing state inside a snapshot.
+//
+//lint:immutable
 type migRoute struct {
 	id       uint64
 	lo, hi   kv.Key
@@ -60,7 +64,11 @@ type migRoute struct {
 	frontier kv.Key // keys in [lo, frontier) already live on dst
 }
 
-// routing is one immutable routing-table snapshot.
+// routing is one immutable routing-table snapshot: readers resolve
+// shards through it lock-free, so a published snapshot is never mutated
+// — writers copy it, adjust the copy, and publish the copy.
+//
+//lint:immutable
 type routing struct {
 	base  Partitioner
 	slots int

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ignoreSet maps file -> line -> analyzer names suppressed at that line.
+type ignoreSet map[string]map[int]map[string]bool
+
+// collectIgnores gathers every //lint:ignore directive of the package. A
+// directive suppresses matching diagnostics on its own line and on the
+// line directly below it (the staticcheck convention: the directive sits
+// right above, or at the end of, the offending line).
+func collectIgnores(pkg *Package) ignoreSet {
+	set := make(ignoreSet)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					set[pos.Filename] = lines
+				}
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					if lines[ln] == nil {
+						lines[ln] = make(map[string]bool)
+					}
+					lines[ln][name] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+// parseIgnore recognizes "//lint:ignore <analyzer> <reason>"; the reason
+// is mandatory, so every suppression documents why the invariant holds
+// anyway.
+func parseIgnore(text string) (analyzer string, ok bool) {
+	rest, found := strings.CutPrefix(text, "//lint:ignore ")
+	if !found {
+		return "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 { // analyzer + at least one reason word
+		return "", false
+	}
+	return fields[0], true
+}
+
+func (s ignoreSet) suppresses(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[d.Pos.Line][d.Analyzer]
+}
+
+// holdsDirectives extracts the //lint:holds directives of a function's
+// doc comment: the guard fields (by name) the caller contractually holds
+// on entry, e.g. "//lint:holds mu".
+func holdsDirectives(doc *ast.CommentGroup) []string {
+	if doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range doc.List {
+		rest, found := strings.CutPrefix(c.Text, "//lint:holds ")
+		if !found {
+			continue
+		}
+		out = append(out, strings.Fields(rest)...)
+	}
+	return out
+}

@@ -1,0 +1,474 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GuardedBy flags reads and writes of struct fields annotated
+//
+//	// guarded by <mutexField>
+//
+// that are reachable without the named mutex held. The check is
+// intra-procedural: it tracks Lock/RLock/Unlock/RUnlock calls (and
+// deferred unlocks, which imply the lock is currently held) over each
+// function body in source order, cloning the lock set into branches so a
+// lock taken inside an `if` or loop never leaks past it.
+//
+// Functions whose callers contractually hold a lock declare it with
+// `//lint:holds <field>` in their doc comment; the analyzer then assumes
+// the receiver's lock on entry and checks that every call site of such a
+// function holds it. Remaining false positives (locks threaded through
+// helpers the analyzer cannot see) are suppressed per line with
+// `//lint:ignore guardedby <reason>`.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "check that fields annotated '// guarded by <mu>' are only accessed with the mutex held",
+	Run:  runGuardedBy,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardInfo records one annotated field and its guard's field name.
+type guardInfo struct {
+	structName string
+	guard      string
+}
+
+// holdsInfo records a function's //lint:holds contract.
+type holdsInfo struct {
+	recv   string // receiver identifier ("" for plain functions)
+	fields []string
+}
+
+func runGuardedBy(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	contracts := collectHolds(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			g := &guardWalker{pass: pass, guards: guards, contracts: contracts}
+			held := make(map[string]bool)
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				if c, ok := contracts[obj]; ok {
+					for _, fld := range c.fields {
+						held[holdKey(c.recv, fld)] = true
+					}
+				}
+			}
+			g.stmts(fd.Body.List, held)
+		}
+	}
+	return nil
+}
+
+// collectGuards maps annotated field objects to their guard info. The
+// annotation is any field doc or line comment containing "guarded by
+// <ident>".
+func collectGuards(pass *Pass) map[types.Object]guardInfo {
+	guards := make(map[types.Object]guardInfo)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := fieldGuard(field)
+				if guard == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = guardInfo{structName: ts.Name.Name, guard: guard}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func fieldGuard(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// collectHolds maps function objects to their //lint:holds contracts.
+func collectHolds(pass *Pass) map[*types.Func]holdsInfo {
+	out := make(map[*types.Func]holdsInfo)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fields := holdsDirectives(fd.Doc)
+			if len(fields) == 0 {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := ""
+			if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+				recv = fd.Recv.List[0].Names[0].Name
+			}
+			out[obj] = holdsInfo{recv: recv, fields: fields}
+		}
+	}
+	return out
+}
+
+// holdKey joins a receiver/base expression and a guard field name into a
+// lock-set key; directives already containing a dot name the base
+// explicitly.
+func holdKey(base, field string) string {
+	if strings.Contains(field, ".") || base == "" {
+		return field
+	}
+	return base + "." + field
+}
+
+// guardWalker tracks the held-lock set through one function body.
+type guardWalker struct {
+	pass      *Pass
+	guards    map[types.Object]guardInfo
+	contracts map[*types.Func]holdsInfo
+}
+
+func cloneSet(s map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// intersect removes from dst every lock not held in src: locks acquired
+// inside a branch do not survive it, unlocks inside a branch do.
+func intersect(dst, src map[string]bool) {
+	for k := range dst {
+		if !src[k] {
+			delete(dst, k)
+		}
+	}
+}
+
+func (g *guardWalker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		g.stmt(s, held)
+	}
+}
+
+func (g *guardWalker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		g.stmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			g.stmt(s.Init, held)
+		}
+		g.scan(s.Cond, held)
+		body := cloneSet(held)
+		g.stmts(s.Body.List, body)
+		switch {
+		case s.Else != nil:
+			els := cloneSet(held)
+			g.stmt(s.Else, els)
+			switch {
+			case terminates(s.Body.List):
+				intersect(held, els)
+			case elseTerminates(s.Else):
+				intersect(held, body)
+			default:
+				intersect(held, body)
+				intersect(held, els)
+			}
+		case terminates(s.Body.List):
+			// The branch diverts; the fallthrough path keeps its locks.
+		default:
+			intersect(held, body)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			g.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			g.scan(s.Cond, held)
+		}
+		body := cloneSet(held)
+		g.stmts(s.Body.List, body)
+		if s.Post != nil {
+			g.stmt(s.Post, body)
+		}
+		intersect(held, body)
+	case *ast.RangeStmt:
+		g.scan(s.X, held)
+		body := cloneSet(held)
+		g.stmts(s.Body.List, body)
+		intersect(held, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			g.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			g.scan(s.Tag, held)
+		}
+		g.caseBodies(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			g.stmt(s.Init, held)
+		}
+		g.stmt(s.Assign, held)
+		g.caseBodies(s.Body, held)
+	case *ast.SelectStmt:
+		g.caseBodies(s.Body, held)
+	case *ast.LabeledStmt:
+		g.stmt(s.Stmt, held)
+	case *ast.DeferStmt:
+		// A deferred unlock implies the lock is held from here to the end
+		// of the function (no one defers an unlock of a mutex they do not
+		// hold); deferred closures are scanned for the same pattern.
+		for _, key := range deferredUnlocks(g.pass.TypesInfo, s.Call) {
+			held[key] = true
+		}
+		if _, _, isLockOp := lockOp(g.pass.TypesInfo, s.Call); !isLockOp {
+			g.scan(s.Call, held)
+		}
+	case *ast.ExprStmt:
+		g.scan(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			g.scan(e, held)
+		}
+		for _, e := range s.Lhs {
+			g.scan(e, held)
+		}
+	case *ast.IncDecStmt:
+		g.scan(s.X, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			g.scan(e, held)
+		}
+	case *ast.GoStmt:
+		// A spawned goroutine runs at an unknown time: scan its body with
+		// an empty lock set.
+		g.scan(s.Call, make(map[string]bool))
+	case *ast.SendStmt:
+		g.scan(s.Chan, held)
+		g.scan(s.Value, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						g.scan(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+func elseTerminates(s ast.Stmt) bool {
+	if b, ok := s.(*ast.BlockStmt); ok {
+		return terminates(b.List)
+	}
+	return false
+}
+
+func (g *guardWalker) caseBodies(body *ast.BlockStmt, held map[string]bool) {
+	merged := false
+	for _, c := range body.List {
+		var list []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				g.scan(e, held)
+			}
+			list = c.Body
+		case *ast.CommClause:
+			list = c.Body
+		}
+		clause := cloneSet(held)
+		g.stmts(list, clause)
+		if !terminates(list) {
+			intersect(held, clause)
+			merged = true
+		}
+	}
+	_ = merged
+}
+
+// scan walks an expression in evaluation order, updating the lock set at
+// Lock/Unlock calls and reporting guarded-field accesses made without
+// their mutex.
+func (g *guardWalker) scan(e ast.Expr, held map[string]bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		if key, locked, ok := lockOp(g.pass.TypesInfo, e); ok {
+			if sel, isSel := ast.Unparen(e.Fun).(*ast.SelectorExpr); isSel {
+				g.scan(sel.X, held) // the mutex chain may itself contain calls
+			}
+			if locked {
+				held[key] = true
+			} else {
+				delete(held, key)
+			}
+			return
+		}
+		for _, a := range e.Args {
+			g.scan(a, held)
+		}
+		g.scan(e.Fun, held)
+		g.checkHoldsContract(e, held)
+	case *ast.SelectorExpr:
+		g.scan(e.X, held)
+		g.checkAccess(e, held)
+	case *ast.FuncLit:
+		// Closures in these packages run inline (deferred cleanups, loop
+		// bodies passed to helpers); analyze with the current lock set.
+		g.stmts(e.Body.List, cloneSet(held))
+	case *ast.BinaryExpr:
+		g.scan(e.X, held)
+		g.scan(e.Y, held)
+	case *ast.UnaryExpr:
+		g.scan(e.X, held)
+	case *ast.StarExpr:
+		g.scan(e.X, held)
+	case *ast.ParenExpr:
+		g.scan(e.X, held)
+	case *ast.IndexExpr:
+		g.scan(e.X, held)
+		g.scan(e.Index, held)
+	case *ast.SliceExpr:
+		g.scan(e.X, held)
+		g.scan(e.Low, held)
+		g.scan(e.High, held)
+		g.scan(e.Max, held)
+	case *ast.TypeAssertExpr:
+		g.scan(e.X, held)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				g.scan(kv.Value, held)
+				continue
+			}
+			g.scan(el, held)
+		}
+	case *ast.KeyValueExpr:
+		g.scan(e.Value, held)
+	}
+}
+
+// checkAccess reports sel if it reads or writes an annotated field
+// without its guard held.
+func (g *guardWalker) checkAccess(sel *ast.SelectorExpr, held map[string]bool) {
+	s, ok := g.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	info, ok := g.guards[s.Obj()]
+	if !ok {
+		return
+	}
+	need := holdKey(exprKey(sel.X), info.guard)
+	if held[need] {
+		return
+	}
+	g.pass.Reportf(sel.Sel.Pos(),
+		"%s.%s accessed without holding %s (field guarded by %q)",
+		info.structName, sel.Sel.Name, need, info.guard)
+}
+
+// checkHoldsContract reports call sites of //lint:holds-annotated
+// functions whose required locks are not held.
+func (g *guardWalker) checkHoldsContract(call *ast.CallExpr, held map[string]bool) {
+	fn := funcOf(g.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	c, ok := g.contracts[fn]
+	if !ok {
+		return
+	}
+	base := ""
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		base = exprKey(sel.X)
+	}
+	for _, fld := range c.fields {
+		need := holdKey(base, fld)
+		if !held[need] {
+			g.pass.Reportf(call.Pos(),
+				"call to %s requires %s held (//lint:holds %s)", fn.Name(), need, fld)
+		}
+	}
+}
+
+// lockOp recognizes m.Lock()/m.RLock()/m.Unlock()/m.RUnlock() on a
+// sync.Mutex or sync.RWMutex and returns the canonical mutex key.
+func lockOp(info *types.Info, call *ast.CallExpr) (key string, locked, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", false, false
+	}
+	var isLock bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		isLock = true
+	case "Unlock", "RUnlock":
+		isLock = false
+	default:
+		return "", false, false
+	}
+	tv, okType := info.Types[sel.X]
+	if !okType || !isMutexType(tv.Type) {
+		return "", false, false
+	}
+	return exprKey(sel.X), isLock, true
+}
+
+// deferredUnlocks returns the mutex keys unlocked by a deferred call:
+// either a direct m.Unlock() or a closure containing unlock calls.
+func deferredUnlocks(info *types.Info, call *ast.CallExpr) []string {
+	if key, locked, ok := lockOp(info, call); ok && !locked {
+		return []string{key}
+	}
+	fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	var keys []string
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if key, locked, ok := lockOp(info, c); ok && !locked {
+				keys = append(keys, key)
+			}
+		}
+		return true
+	})
+	return keys
+}

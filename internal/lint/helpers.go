@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// exprKey canonicalizes a selector chain ("s.mu", "f.shards[si].mu") for
+// matching lock expressions against guarded accesses. Purely syntactic:
+// two textually equal chains are assumed to denote the same object within
+// one function, which is the precision a lock-tracking lint needs.
+func exprKey(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+// funcOf resolves the called function or method of call, or nil.
+func funcOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// calleeName returns the bare name of the called function or method,
+// resolving syntactically when type information is absent.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// isMutexType reports whether t (or its pointee) is sync.Mutex or
+// sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// isAtomicType reports whether t (or its pointee) is a sync/atomic
+// wrapper type (Pointer[T], Bool, Int64, ...).
+func isAtomicType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// namedType returns the named type of t, unwrapping one pointer level.
+func namedType(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isVtimeTicks reports whether t is the vtime.Ticks virtual clock type.
+func isVtimeTicks(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Ticks" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/vtime")
+}
+
+// terminates reports whether the statement list ends in a control-flow
+// exit (return, break, continue, goto, panic), so a branch ending there
+// never merges back into the fallthrough path.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch s := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scopedTo builds a package filter matching any of the given import paths
+// exactly, or any lint testdata package of the given analyzer (so the
+// analyzer's own fixture packages fall inside its scope).
+func scopedTo(analyzer string, paths ...string) func(pkgPath string) bool {
+	return func(pkgPath string) bool {
+		for _, p := range paths {
+			if pkgPath == p {
+				return true
+			}
+		}
+		return strings.Contains(pkgPath, "lint/testdata/src/"+analyzer)
+	}
+}

@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SnapshotMut enforces the copy-on-write discipline of published
+// snapshots in internal/core. Routing tables travel lock-free through
+// atomic.Pointer, so a snapshot must be immutable the moment it is
+// published: mutating it afterwards races with every concurrent reader.
+// Types carrying a `//lint:immutable` directive on their declaration are
+// checked structurally:
+//
+//   - a field write through a pointer to an immutable type is flagged,
+//     unless the pointer was allocated in the same function and has not
+//     yet escaped (composite-literal construction before publish is the
+//     legitimate pattern);
+//   - a field write into a slice/array element of immutable type is
+//     flagged (elements are shared with whoever holds the slice);
+//   - writes through a value copy (`next := *rt; next.mig = ...`) are the
+//     sanctioned copy-on-write idiom and pass.
+//
+// Independently of annotations, a variable that flows through an atomic
+// publish point — returned by .Load(), or passed to .Store() or
+// publish() — is treated as escaped, and later field writes through it
+// are flagged.
+var SnapshotMut = &Analyzer{
+	Name: "snapshotmut",
+	Doc:  "flag mutation of published routing snapshots and //lint:immutable values",
+	Run:  runSnapshotMut,
+}
+
+var snapshotMutScope = scopedTo("snapshotmut", "repro/internal/core")
+
+func runSnapshotMut(pass *Pass) error {
+	if !snapshotMutScope(pass.Pkg.Path()) {
+		return nil
+	}
+	immutable := collectImmutable(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &snapWalker{
+				pass:        pass,
+				immutable:   immutable,
+				constructed: make(map[types.Object]bool),
+				escaped:     make(map[types.Object]string),
+				reported:    make(map[token.Pos]bool),
+			}
+			w.walk(fd.Body)
+		}
+	}
+	return nil
+}
+
+// collectImmutable gathers the named types whose declarations carry a
+// //lint:immutable directive.
+func collectImmutable(pass *Pass) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			declMarked := hasImmutableDirective(gd.Doc)
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !declMarked && !hasImmutableDirective(ts.Doc) && !hasImmutableDirective(ts.Comment) {
+					continue
+				}
+				if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					out[tn] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func hasImmutableDirective(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), "//lint:immutable") {
+			return true
+		}
+	}
+	return false
+}
+
+// snapWalker scans one function body in source order, tracking which
+// locals are freshly constructed (mutation still legitimate) and which
+// have escaped through an atomic publish point.
+type snapWalker struct {
+	pass        *Pass
+	immutable   map[*types.TypeName]bool
+	constructed map[types.Object]bool
+	escaped     map[types.Object]string
+	reported    map[token.Pos]bool
+}
+
+func (w *snapWalker) walk(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			w.assign(n)
+		case *ast.IncDecStmt:
+			w.checkWrite(n.X, n.Pos())
+		case *ast.CallExpr:
+			w.call(n)
+		}
+		return true
+	})
+}
+
+func (w *snapWalker) assign(s *ast.AssignStmt) {
+	for i, lhs := range s.Lhs {
+		if i < len(s.Rhs) {
+			w.trackRHS(lhs, s.Rhs[i])
+		}
+		if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+			w.checkWrite(sel, s.Pos())
+		}
+	}
+}
+
+// trackRHS records construction (`x := &T{}` / `new(T)`) and atomic-load
+// escapes (`rt := p.cur.Load()`).
+func (w *snapWalker) trackRHS(lhs, rhs ast.Expr) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := w.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = w.pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	switch rhs := ast.Unparen(rhs).(type) {
+	case *ast.UnaryExpr:
+		if rhs.Op == token.AND {
+			if _, ok := rhs.X.(*ast.CompositeLit); ok {
+				w.constructed[obj] = true
+			}
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok && id.Name == "new" {
+			w.constructed[obj] = true
+			return
+		}
+		if w.isAtomicMethod(rhs, "Load") {
+			w.escaped[obj] = "loaded from the published snapshot"
+		}
+	}
+}
+
+// call marks arguments of atomic Store / publish as escaped.
+func (w *snapWalker) call(call *ast.CallExpr) {
+	escape := ""
+	if w.isAtomicMethod(call, "Store") || w.isAtomicMethod(call, "CompareAndSwap") {
+		escape = "published via atomic Store"
+	} else if calleeName(call) == "publish" {
+		escape = "published via publish"
+	}
+	if escape == "" {
+		return
+	}
+	for _, arg := range call.Args {
+		e := ast.Unparen(arg)
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			e = ast.Unparen(u.X)
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := w.pass.TypesInfo.Uses[id]; obj != nil {
+				w.escaped[obj] = escape
+				delete(w.constructed, obj)
+			}
+		}
+	}
+}
+
+// isAtomicMethod reports whether call invokes the named method on a
+// sync/atomic wrapper value.
+func (w *snapWalker) isAtomicMethod(call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	tv, ok := w.pass.TypesInfo.Types[sel.X]
+	return ok && isAtomicType(tv.Type)
+}
+
+// checkWrite flags a field write `base.f = ...` (or base.f++) that
+// mutates shared immutable state.
+func (w *snapWalker) checkWrite(lhs ast.Expr, pos token.Pos) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok || w.reported[pos] {
+		return
+	}
+	base := ast.Unparen(sel.X)
+
+	// Flow rule: the root variable of the access chain has escaped
+	// through an atomic publish point.
+	if root := rootIdent(base); root != nil {
+		if obj := identObj(w.pass.TypesInfo, root); obj != nil {
+			if reason, ok := w.escaped[obj]; ok {
+				w.report(pos, "write to %s mutates a snapshot %s; copy it (next := *%s) and publish the copy instead",
+					exprKey(sel), reason, root.Name)
+				return
+			}
+		}
+	}
+
+	// Structural rule: writing through a pointer to (or a shared element
+	// of) an immutable type.
+	tv, ok := w.pass.TypesInfo.Types[base]
+	if !ok {
+		return
+	}
+	switch bt := tv.Type.Underlying().(type) {
+	case *types.Pointer:
+		if !w.isImmutable(bt.Elem()) {
+			return
+		}
+		// Freshly constructed, not yet escaped: still legitimate.
+		if id, ok := base.(*ast.Ident); ok {
+			if obj := identObj(w.pass.TypesInfo, id); obj != nil && w.constructed[obj] {
+				return
+			}
+		}
+		w.report(pos, "write to %s mutates %s through a shared pointer; snapshots are immutable once published — mutate a copy",
+			exprKey(sel), typeLabel(bt.Elem()))
+	default:
+		// Element of a shared slice/array: s[i].f = ...
+		if ix, ok := base.(*ast.IndexExpr); ok {
+			if itv, ok := w.pass.TypesInfo.Types[ix.X]; ok {
+				switch ct := itv.Type.Underlying().(type) {
+				case *types.Slice:
+					if w.isImmutable(ct.Elem()) {
+						w.report(pos, "write to %s mutates an element of a shared %s slice; rebuild the slice instead",
+							exprKey(sel), typeLabel(ct.Elem()))
+					}
+				case *types.Array:
+					if w.isImmutable(ct.Elem()) {
+						w.report(pos, "write to %s mutates an element of a shared %s array; rebuild it instead",
+							exprKey(sel), typeLabel(ct.Elem()))
+					}
+				}
+			}
+		}
+	}
+}
+
+func (w *snapWalker) isImmutable(t types.Type) bool {
+	named := namedType(t)
+	return named != nil && w.immutable[named.Obj()]
+}
+
+func (w *snapWalker) report(pos token.Pos, format string, args ...interface{}) {
+	w.reported[pos] = true
+	w.pass.Reportf(pos, format, args...)
+}
+
+func typeLabel(t types.Type) string {
+	if named := namedType(t); named != nil {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// rootIdent returns the leftmost identifier of a selector/index chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

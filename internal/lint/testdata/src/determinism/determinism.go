@@ -1,0 +1,79 @@
+// Package determinism is the golden-test fixture for the determinism
+// analyzer: wall-clock reads, global math/rand draws, and
+// map-iteration-order-dependent writes.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func formattingIsFine(t0 time.Time) string {
+	return t0.Format(time.RFC3339)
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want `global math/rand Intn draws from process-shared state`
+}
+
+func seededDrawIsFine(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func collectKeys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want `append to out inside map iteration is order-dependent`
+	}
+	return out
+}
+
+func collectKeysSorted(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func loopLocalIsFine(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		total += len(tmp)
+	}
+	return total
+}
+
+type clock struct{ now vtime.Ticks }
+
+func (c *clock) advance(t vtime.Ticks) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+func advanceInMapOrder(m map[int]vtime.Ticks, c *clock) {
+	for _, t := range m {
+		c.advance(t) // want `virtual-time call inside map iteration`
+	}
+}
+
+func escapeHatch() int64 {
+	//lint:ignore determinism fixture for the suppression path
+	return time.Now().UnixNano()
+}

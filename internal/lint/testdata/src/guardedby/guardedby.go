@@ -1,0 +1,79 @@
+// Package guardedby is the golden-test fixture for the guardedby
+// analyzer: each `// want` comment marks a line the analyzer must flag
+// with a message matching the backquoted regexp.
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func lockedWrite(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func deferredRead(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func bareWrite(c *counter) {
+	c.n++ // want `counter\.n accessed without holding c\.mu`
+}
+
+func lockDoesNotLeakFromBranch(c *counter, b bool) {
+	if b {
+		c.mu.Lock()
+		c.n = 1
+		c.mu.Unlock()
+	}
+	c.n = 2 // want `counter\.n accessed without holding c\.mu`
+}
+
+func readAfterUnlock(c *counter) int {
+	c.mu.Lock()
+	c.n = 3
+	c.mu.Unlock()
+	return c.n // want `counter\.n accessed without holding c\.mu`
+}
+
+func earlyReturnKeepsLock(c *counter, b bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b {
+		return
+	}
+	c.n++
+}
+
+func goroutineStartsUnlocked(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `counter\.n accessed without holding c\.mu`
+	}()
+}
+
+// bump requires the caller to hold the lock.
+//
+//lint:holds mu
+func (c *counter) bump() {
+	c.n++
+}
+
+func contractCallSites(c *counter) {
+	c.bump() // want `call to bump requires c\.mu held`
+	c.mu.Lock()
+	c.bump()
+	c.mu.Unlock()
+}
+
+func escapeHatch(c *counter) {
+	//lint:ignore guardedby fixture for the suppression path
+	c.n++
+}

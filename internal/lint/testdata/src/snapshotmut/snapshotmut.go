@@ -1,0 +1,82 @@
+// Package snapshotmut is the golden-test fixture for the snapshotmut
+// analyzer: copy-on-write discipline for atomically published snapshots.
+package snapshotmut
+
+import "sync/atomic"
+
+// table mirrors core's routing snapshot.
+//
+//lint:immutable
+type table struct {
+	epoch uint64
+	rules []rule
+	mig   *mig
+}
+
+//lint:immutable
+type rule struct{ lo, hi uint64 }
+
+//lint:immutable
+type mig struct{ frontier uint64 }
+
+type part struct{ cur atomic.Pointer[table] }
+
+// publish bumps the epoch on its private value copy before storing it:
+// the sanctioned pattern.
+func (p *part) publish(next table) {
+	next.epoch = p.cur.Load().epoch + 1
+	p.cur.Store(&next)
+}
+
+func copyOnWrite(p *part) {
+	rt := p.cur.Load()
+	next := *rt
+	next.epoch = 7
+	next.mig = nil
+	p.cur.Store(&next)
+}
+
+func constructThenStore(p *part) {
+	next := &table{}
+	next.epoch = 1
+	p.cur.Store(next)
+}
+
+func mutateLoaded(p *part) {
+	rt := p.cur.Load()
+	rt.epoch++ // want `mutates a snapshot loaded from the published snapshot`
+}
+
+func mutateAfterStore(p *part) {
+	next := &table{}
+	next.epoch = 1
+	p.cur.Store(next)
+	next.epoch = 2 // want `mutates a snapshot published via atomic Store`
+}
+
+func mutateAfterPublish(p *part) {
+	rt := p.cur.Load()
+	next := *rt
+	next.epoch = 1
+	p.publish(next)
+	next.mig = nil // want `mutates a snapshot published via publish`
+}
+
+func mutateThroughPointer(m *mig) {
+	m.frontier = 3 // want `mutates mig through a shared pointer`
+}
+
+func mutateSharedElement(t *table) {
+	t.rules[0].lo = 9 // want `mutates an element of a shared rule slice`
+}
+
+func valueCopyOfElement(t *table) rule {
+	r := t.rules[0]
+	r.lo = 9
+	return r
+}
+
+func escapeHatch(m *mig) {
+	//lint:ignore snapshotmut fixture for the suppression path
+	m.frontier = 4
+}

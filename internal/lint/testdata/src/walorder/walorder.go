@@ -1,0 +1,75 @@
+// Package walorder is the golden-test fixture for the walorder
+// analyzer. The shapes mirror internal/core's protocol sites: Append of
+// a commit-point record kind, Force/ForceGroup durability calls, and
+// publish/Store routing publications.
+package walorder
+
+type Kind uint8
+
+const (
+	KindFlushEnd Kind = iota + 1
+	KindKeyMoved
+	KindMigrationEnd
+	KindCommit
+)
+
+type Record struct {
+	Kind Kind
+	Key  uint64
+}
+
+type log struct{ lsn uint64 }
+
+func (l *log) Append(r Record) uint64 { l.lsn++; return l.lsn }
+func (l *log) Force(at int64) int64   { return at }
+
+type table struct{ epoch uint64 }
+
+type part struct{ cur *table }
+
+func (p *part) publish(t table) { p.cur = &t }
+
+// goodChunk follows the migration protocol: force the destination, then
+// commit KeyMoved, force it, and only then publish the frontier.
+func goodChunk(src, dst *log, p *part, at int64) {
+	at = dst.Force(at)
+	src.Append(Record{Kind: KindKeyMoved})
+	at = src.Force(at)
+	p.publish(table{epoch: 1})
+}
+
+func keyMovedBeforeForce(src *log, at int64) {
+	src.Append(Record{Kind: KindKeyMoved}) // want `KeyMoved appended without a dominating Force`
+	src.Force(at)
+}
+
+func publishWhilePending(l *log, p *part, at int64) {
+	rec := Record{Kind: KindFlushEnd}
+	l.Append(rec)
+	p.publish(table{epoch: 2}) // want `routing state published while KindFlushEnd is appended but not forced`
+	l.Force(at)
+}
+
+func unforcedAtReturn(l *log, at int64) {
+	l.Force(at)
+	l.Append(Record{Kind: KindMigrationEnd}) // want `KindMigrationEnd appended but not forced before the function returns`
+}
+
+// untrackedKindsAreFree: only commit-point kinds participate in the
+// protocol; plain commits need no trailing force here.
+func untrackedKindsAreFree(l *log) {
+	l.Append(Record{Kind: KindCommit})
+}
+
+func boundRecordResolved(l *log, p *part, at int64) {
+	end := Record{Kind: KindMigrationEnd}
+	l.Append(end)
+	l.Force(at)
+	p.publish(table{epoch: 3})
+}
+
+func escapeHatch(l *log, at int64) {
+	//lint:ignore walorder fixture for the suppression path
+	l.Append(Record{Kind: KindKeyMoved})
+	l.Force(at)
+}

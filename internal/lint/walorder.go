@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WALOrder flags violations of the forest's WAL protocol in
+// internal/core. The protocol (documented at the top of
+// internal/core/rebalance.go and in the flush coordinator) demands:
+//
+//   - a KeyMoved record may only be appended after a Force of the
+//     destination log (KeyMoved durable implies the chunk's copies are
+//     durable), so appending it without a dominating Force/ForceGroup/
+//     forceLogs call earlier in the function is flagged;
+//   - FlushEnd, MigrationEnd, and KeyMoved records are commit points:
+//     after appending one, the function must force the log (directly or
+//     via the ganged forceLogs) before returning;
+//   - a routing snapshot or frontier must not be published (publish /
+//     atomic Store) while such a record is appended but not yet forced —
+//     readers would act on routing the log cannot yet justify.
+//
+// The check is a source-order protocol scan per function: force calls
+// set/clear state as encountered, so conditionally-forced paths are
+// accepted (any-path semantics); it is a linter for ordering mistakes,
+// not a proof of durability.
+var WALOrder = &Analyzer{
+	Name: "walorder",
+	Doc:  "check force-before-publish ordering of WAL protocol records in internal/core",
+	Run:  runWALOrder,
+}
+
+var walorderScope = scopedTo("walorder", "repro/internal/core")
+
+// trackedKinds are the WAL record kinds whose append is a protocol
+// commit point.
+var trackedKinds = map[string]bool{
+	"KindKeyMoved":     true,
+	"KindFlushEnd":     true,
+	"KindMigrationEnd": true,
+}
+
+// forceCallees are the calls that make appended records durable.
+var forceCallees = map[string]bool{
+	"Force":      true,
+	"ForceGroup": true,
+	"forceLogs":  true,
+}
+
+// publishCallees are the calls that publish routing state to readers.
+var publishCallees = map[string]bool{
+	"publish": true,
+	"Store":   true,
+}
+
+func runWALOrder(pass *Pass) error {
+	if !walorderScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &walWalker{
+				pass:     pass,
+				recKinds: make(map[types.Object]string),
+			}
+			w.walk(fd.Body)
+			for _, p := range w.pending {
+				pass.Reportf(p.pos,
+					"%s appended but not forced before the function returns (the WAL protocol requires a Force/ForceGroup after this commit record)",
+					p.kind)
+			}
+		}
+	}
+	return nil
+}
+
+// walWalker scans one function body in source order.
+type walWalker struct {
+	pass      *Pass
+	forceSeen bool
+	pending   []walPending
+	// recKinds tracks `rec := wal.Record{Kind: ...}` assignments so a
+	// later Append(rec) resolves the record's kind.
+	recKinds map[types.Object]string
+}
+
+type walPending struct {
+	pos  token.Pos
+	kind string
+}
+
+func (w *walWalker) walk(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			w.recordAssign(n)
+		case *ast.CallExpr:
+			w.call(n)
+		}
+		return true
+	})
+}
+
+// recordAssign remembers the kind of record composite literals bound to
+// identifiers, so Append(identifier) calls resolve their kind.
+func (w *walWalker) recordAssign(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		kind := compositeKind(s.Rhs[i])
+		if kind == "" {
+			continue
+		}
+		obj := w.pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = w.pass.TypesInfo.Uses[id]
+		}
+		if obj != nil {
+			w.recKinds[obj] = kind
+		}
+	}
+}
+
+// compositeKind extracts the tracked Kind of a Record composite literal.
+func compositeKind(e ast.Expr) string {
+	lit, ok := ast.Unparen(e).(*ast.CompositeLit)
+	if !ok {
+		return ""
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Kind" {
+			continue
+		}
+		name := ""
+		switch v := ast.Unparen(kv.Value).(type) {
+		case *ast.Ident:
+			name = v.Name
+		case *ast.SelectorExpr:
+			name = v.Sel.Name
+		}
+		if trackedKinds[name] {
+			return name
+		}
+	}
+	return ""
+}
+
+func (w *walWalker) call(call *ast.CallExpr) {
+	name := calleeName(call)
+	switch {
+	case forceCallees[name]:
+		w.forceSeen = true
+		w.pending = w.pending[:0]
+	case name == "Append" && len(call.Args) >= 1:
+		kind := w.appendKind(call.Args[0])
+		if kind == "" {
+			return
+		}
+		if kind == "KindKeyMoved" && !w.forceSeen {
+			w.pass.Reportf(call.Pos(),
+				"KeyMoved appended without a dominating Force of the destination log (the chunk's copies must be durable first)")
+		}
+		w.pending = append(w.pending, walPending{pos: call.Pos(), kind: kind})
+	case publishCallees[name]:
+		for _, p := range w.pending {
+			w.pass.Reportf(call.Pos(),
+				"routing state published while %s is appended but not forced (force the log before publishing)", p.kind)
+		}
+	}
+}
+
+func (w *walWalker) appendKind(arg ast.Expr) string {
+	if kind := compositeKind(arg); kind != "" {
+		return kind
+	}
+	if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+		if obj := w.pass.TypesInfo.Uses[id]; obj != nil {
+			return w.recKinds[obj]
+		}
+	}
+	return ""
+}

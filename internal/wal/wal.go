@@ -213,14 +213,14 @@ type Log struct {
 	pageSize int
 
 	mu      sync.Mutex
-	nextLSN uint64
-	head    int64  // byte offset of the live log head (record boundary)
-	durable int64  // durable log-content bytes (end offset)
-	partial []byte // durable content of the trailing, partially filled page
-	tail    []byte // appended but not yet forced
-	forced  uint64 // LSN up to which records are durable (exclusive next)
+	nextLSN uint64 // guarded by mu
+	head    int64  // byte offset of the live log head (record boundary); guarded by mu
+	durable int64  // durable log-content bytes (end offset); guarded by mu
+	partial []byte // durable content of the trailing, partially filled page; guarded by mu
+	tail    []byte // appended but not yet forced; guarded by mu
+	forced  uint64 // LSN up to which records are durable (exclusive next); guarded by mu
 
-	// truncated accumulates the bytes dropped by TruncateHead.
+	// truncated accumulates the bytes dropped by TruncateHead (guarded by mu).
 	truncated int64
 
 	// ForceWrites counts blocking device submissions issued by Force (one
@@ -282,6 +282,8 @@ func (l *Log) ForceStats() (forceWrites, gangForces int64) {
 // forces never issue unaligned or overlapping-with-padding writes and the
 // cost accounting matches the paper's sequential page-write model.
 // Returns ok=false when there is nothing to force.
+//
+//lint:holds mu
 func (l *Log) pendingReq() (ssdio.Req, bool) {
 	if len(l.tail) == 0 {
 		return ssdio.Req{}, false
@@ -298,6 +300,8 @@ func (l *Log) pendingReq() (ssdio.Req, bool) {
 
 // commitForce advances the durable state after the device accepted the
 // write previously built by pendingReq.
+//
+//lint:holds mu
 func (l *Log) commitForce(req ssdio.Req) {
 	content := len(l.partial) + len(l.tail)
 	l.durable += int64(len(l.tail))
@@ -384,6 +388,7 @@ func ForceGroup(at vtime.Ticks, logs []*Log) (vtime.Ticks, int, error) {
 	}
 	for i, l := range members {
 		l.GangForces++
+		//lint:ignore guardedby every member's mu was acquired in the collection loop and is released by the deferred unlock
 		l.commitForce(reqs[i])
 	}
 	return done, len(members), nil
