@@ -62,6 +62,67 @@ func (s ignoreSet) suppresses(d Diagnostic) bool {
 	return lines[d.Pos.Line][d.Analyzer]
 }
 
+// parseLockOrder recognizes a lock-hierarchy declaration
+//
+//	//lint:lockorder A < B < C
+//
+// and returns the chain of lock classes in ascending acquisition order.
+// Multiple declarations merge into one partial order; a class may appear
+// in several chains.
+func parseLockOrder(text string) []string {
+	rest, found := strings.CutPrefix(text, "//lint:lockorder ")
+	if !found || strings.HasPrefix(rest, "-multi") {
+		return nil
+	}
+	var chain []string
+	for _, part := range strings.Split(rest, "<") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil
+		}
+		chain = append(chain, part)
+	}
+	if len(chain) < 2 {
+		return nil
+	}
+	return chain
+}
+
+// parseLockOrderMulti recognizes
+//
+//	//lint:lockorder-multi <class> <reason>
+//
+// declaring that several instances of one lock class are legitimately
+// held at once (always acquired in a canonical instance order, which the
+// reason documents), so a self-edge on that class is not a deadlock.
+func parseLockOrderMulti(text string) (class string, ok bool) {
+	rest, found := strings.CutPrefix(text, "//lint:lockorder-multi ")
+	if !found {
+		return "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 { // class + at least one reason word
+		return "", false
+	}
+	return fields[0], true
+}
+
+// isIOSourceDirective recognizes "//lint:iosource" on a function's doc
+// comment, marking it an I/O-plane error source for the ioerr analyzer —
+// used by fixture packages and future entry points outside the canonical
+// ssdio/wal/pagefile paths.
+func isIOSourceDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == "//lint:iosource" || strings.HasPrefix(c.Text, "//lint:iosource ") {
+			return true
+		}
+	}
+	return false
+}
+
 // holdsDirectives extracts the //lint:holds directives of a function's
 // doc comment: the guard fields (by name) the caller contractually holds
 // on entry, e.g. "//lint:holds mu".

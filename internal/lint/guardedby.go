@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"regexp"
 	"strings"
@@ -11,17 +12,22 @@ import (
 //
 //	// guarded by <mutexField>
 //
-// that are reachable without the named mutex held. The check is
-// intra-procedural: it tracks Lock/RLock/Unlock/RUnlock calls (and
-// deferred unlocks, which imply the lock is currently held) over each
-// function body in source order, cloning the lock set into branches so a
-// lock taken inside an `if` or loop never leaks past it.
+// that are reachable without the named mutex held. The per-function check
+// tracks Lock/RLock/Unlock/RUnlock calls (and deferred unlocks, which
+// imply the lock is currently held) over each function body in source
+// order, cloning the lock set into branches so a lock taken inside an
+// `if` or loop never leaks past it. TryLock/TryRLock acquire only on the
+// true branch, and Lock/Unlock through a locker interface (sync.Locker or
+// any interface with Lock/Unlock) is tracked like a concrete mutex.
 //
-// Functions whose callers contractually hold a lock declare it with
-// `//lint:holds <field>` in their doc comment; the analyzer then assumes
-// the receiver's lock on entry and checks that every call site of such a
-// function holds it. Remaining false positives (locks threaded through
-// helpers the analyzer cannot see) are suppressed per line with
+// Caller contracts are INFERRED through the program engine: an unexported
+// method that touches a guarded receiver field without locking internally
+// is taken to require the lock on entry, and every call site is checked
+// instead — requirements propagate up call chains of the same receiver.
+// Exported functions are API boundaries and must either lock internally
+// or declare an explicit `//lint:holds <field>` contract in their doc
+// comment. Remaining false positives (locks threaded through aliases the
+// analyzer cannot see) are suppressed per line with
 // `//lint:ignore guardedby <reason>`.
 var GuardedBy = &Analyzer{
 	Name: "guardedby",
@@ -37,32 +43,145 @@ type guardInfo struct {
 	guard      string
 }
 
-// holdsInfo records a function's //lint:holds contract.
-type holdsInfo struct {
-	recv   string // receiver identifier ("" for plain functions)
-	fields []string
+// holdsContract is one function's caller-holds-the-lock contract: the
+// guard fields (relative to the receiver identifier) that must be held at
+// every call site. Explicit contracts come from //lint:holds directives;
+// inferred ones from the program engine's summary pass.
+type holdsContract struct {
+	recv     string
+	fields   []string
+	inferred bool
+}
+
+func (c *holdsContract) origin() string {
+	if c.inferred {
+		return "inferred caller contract"
+	}
+	return "//lint:holds"
+}
+
+func (c *holdsContract) has(field string) bool {
+	for _, f := range c.fields {
+		if f == field {
+			return true
+		}
+	}
+	return false
+}
+
+// entryHeld is the lock set a function may assume on entry per its
+// contract.
+func (c *holdsContract) entryHeld() map[string]bool {
+	held := make(map[string]bool)
+	if c == nil {
+		return held
+	}
+	for _, fld := range c.fields {
+		held[holdKey(c.recv, fld)] = true
+	}
+	return held
+}
+
+// guardContracts builds the program-wide contract table: explicit
+// //lint:holds directives on any function, plus inferred requirements for
+// unexported methods, iterated to a fixpoint so a helper calling a
+// lock-requiring helper on the same receiver inherits the requirement.
+func (prog *Program) guardContracts() map[string]*holdsContract {
+	if prog.contracts != nil {
+		return prog.contracts
+	}
+	contracts := make(map[string]*holdsContract)
+	prog.contracts = contracts
+	guardsByPkg := make(map[*Package]map[types.Object]guardInfo, len(prog.Pkgs))
+	anyGuards := false
+	for _, pkg := range prog.Pkgs {
+		g := collectGuards(pkg)
+		guardsByPkg[pkg] = g
+		if len(g) > 0 {
+			anyGuards = true
+		}
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fields := holdsDirectives(fd.Doc)
+				if len(fields) == 0 {
+					continue
+				}
+				if obj, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					contracts[funcID(obj)] = &holdsContract{recv: recvName(fd), fields: fields}
+				}
+			}
+		}
+	}
+	if !anyGuards {
+		return contracts
+	}
+	ids := prog.sortedFuncIDs()
+	for iter := 0; iter < 16; iter++ {
+		changed := false
+		for _, id := range ids {
+			node := prog.Funcs[id]
+			fd := node.Decl
+			recv := recvName(fd)
+			if recv == "" || node.Obj.Exported() {
+				continue
+			}
+			require := make(map[string]bool)
+			w := &guardWalker{
+				info:      node.Pkg.TypesInfo,
+				guards:    guardsByPkg[node.Pkg],
+				contracts: contracts,
+				recv:      recv,
+				require:   require,
+			}
+			w.stmts(fd.Body.List, contracts[id].entryHeld())
+			for fld := range require {
+				c := contracts[id]
+				if c == nil {
+					c = &holdsContract{recv: recv, inferred: true}
+					contracts[id] = c
+				}
+				if !c.has(fld) {
+					c.fields = append(c.fields, fld)
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return contracts
 }
 
 func runGuardedBy(pass *Pass) error {
-	guards := collectGuards(pass)
-	if len(guards) == 0 {
+	contracts := pass.Prog.guardContracts()
+	guards := collectGuards(pass.pkg())
+	if len(guards) == 0 && len(contracts) == 0 {
 		return nil
 	}
-	contracts := collectHolds(pass)
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			g := &guardWalker{pass: pass, guards: guards, contracts: contracts}
-			held := make(map[string]bool)
+			g := &guardWalker{
+				info:      pass.TypesInfo,
+				report:    pass.Reportf,
+				guards:    guards,
+				contracts: contracts,
+			}
+			var held map[string]bool
 			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				if c, ok := contracts[obj]; ok {
-					for _, fld := range c.fields {
-						held[holdKey(c.recv, fld)] = true
-					}
-				}
+				held = contracts[funcID(obj)].entryHeld()
+			} else {
+				held = make(map[string]bool)
 			}
 			g.stmts(fd.Body.List, held)
 		}
@@ -73,9 +192,9 @@ func runGuardedBy(pass *Pass) error {
 // collectGuards maps annotated field objects to their guard info. The
 // annotation is any field doc or line comment containing "guarded by
 // <ident>".
-func collectGuards(pass *Pass) map[types.Object]guardInfo {
+func collectGuards(pkg *Package) map[types.Object]guardInfo {
 	guards := make(map[types.Object]guardInfo)
-	for _, f := range pass.Files {
+	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			ts, ok := n.(*ast.TypeSpec)
 			if !ok {
@@ -91,7 +210,7 @@ func collectGuards(pass *Pass) map[types.Object]guardInfo {
 					continue
 				}
 				for _, name := range field.Names {
-					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					if obj := pkg.TypesInfo.Defs[name]; obj != nil {
 						guards[obj] = guardInfo{structName: ts.Name.Name, guard: guard}
 					}
 				}
@@ -114,33 +233,6 @@ func fieldGuard(field *ast.Field) string {
 	return ""
 }
 
-// collectHolds maps function objects to their //lint:holds contracts.
-func collectHolds(pass *Pass) map[*types.Func]holdsInfo {
-	out := make(map[*types.Func]holdsInfo)
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok {
-				continue
-			}
-			fields := holdsDirectives(fd.Doc)
-			if len(fields) == 0 {
-				continue
-			}
-			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			recv := ""
-			if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
-				recv = fd.Recv.List[0].Names[0].Name
-			}
-			out[obj] = holdsInfo{recv: recv, fields: fields}
-		}
-	}
-	return out
-}
-
 // holdKey joins a receiver/base expression and a guard field name into a
 // lock-set key; directives already containing a dot name the base
 // explicitly.
@@ -151,11 +243,19 @@ func holdKey(base, field string) string {
 	return base + "." + field
 }
 
-// guardWalker tracks the held-lock set through one function body.
+// guardWalker tracks the held-lock set through one function body. With
+// report set it emits diagnostics (the per-package check); with require
+// set it instead records which receiver guards the function needs on
+// entry (the contract-inference pass).
 type guardWalker struct {
-	pass      *Pass
+	info      *types.Info
+	report    func(pos token.Pos, format string, args ...any)
 	guards    map[types.Object]guardInfo
-	contracts map[*types.Func]holdsInfo
+	contracts map[string]*holdsContract
+
+	// recv and require are set in inference mode only.
+	recv    string
+	require map[string]bool
 }
 
 func cloneSet(s map[string]bool) map[string]bool {
@@ -192,6 +292,17 @@ func (g *guardWalker) stmt(s ast.Stmt, held map[string]bool) {
 		}
 		g.scan(s.Cond, held)
 		body := cloneSet(held)
+		// TryLock acquires only on the true branch; a negated TryLock
+		// that diverts (early return) leaves the lock held on the
+		// fallthrough path.
+		negKey := ""
+		if key, ok := tryLockKey(g.info, s.Cond); ok {
+			body[key] = true
+		} else if neg, isNeg := notExpr(s.Cond); isNeg {
+			if key, ok := tryLockKey(g.info, neg); ok {
+				negKey = key
+			}
+		}
 		g.stmts(s.Body.List, body)
 		switch {
 		case s.Else != nil:
@@ -208,6 +319,9 @@ func (g *guardWalker) stmt(s ast.Stmt, held map[string]bool) {
 			}
 		case terminates(s.Body.List):
 			// The branch diverts; the fallthrough path keeps its locks.
+			if negKey != "" {
+				held[negKey] = true
+			}
 		default:
 			intersect(held, body)
 		}
@@ -251,10 +365,10 @@ func (g *guardWalker) stmt(s ast.Stmt, held map[string]bool) {
 		// A deferred unlock implies the lock is held from here to the end
 		// of the function (no one defers an unlock of a mutex they do not
 		// hold); deferred closures are scanned for the same pattern.
-		for _, key := range deferredUnlocks(g.pass.TypesInfo, s.Call) {
+		for _, key := range deferredUnlocks(g.info, s.Call) {
 			held[key] = true
 		}
-		if _, _, isLockOp := lockOp(g.pass.TypesInfo, s.Call); !isLockOp {
+		if _, _, isLockOp := lockOp(g.info, s.Call); !isLockOp {
 			g.scan(s.Call, held)
 		}
 	case *ast.ExprStmt:
@@ -300,7 +414,6 @@ func elseTerminates(s ast.Stmt) bool {
 }
 
 func (g *guardWalker) caseBodies(body *ast.BlockStmt, held map[string]bool) {
-	merged := false
 	for _, c := range body.List {
 		var list []ast.Stmt
 		switch c := c.(type) {
@@ -316,10 +429,8 @@ func (g *guardWalker) caseBodies(body *ast.BlockStmt, held map[string]bool) {
 		g.stmts(list, clause)
 		if !terminates(list) {
 			intersect(held, clause)
-			merged = true
 		}
 	}
-	_ = merged
 }
 
 // scan walks an expression in evaluation order, updating the lock set at
@@ -329,7 +440,7 @@ func (g *guardWalker) scan(e ast.Expr, held map[string]bool) {
 	switch e := e.(type) {
 	case nil:
 	case *ast.CallExpr:
-		if key, locked, ok := lockOp(g.pass.TypesInfo, e); ok {
+		if key, locked, ok := lockOp(g.info, e); ok {
 			if sel, isSel := ast.Unparen(e.Fun).(*ast.SelectorExpr); isSel {
 				g.scan(sel.X, held) // the mutex chain may itself contain calls
 			}
@@ -385,9 +496,10 @@ func (g *guardWalker) scan(e ast.Expr, held map[string]bool) {
 }
 
 // checkAccess reports sel if it reads or writes an annotated field
-// without its guard held.
+// without its guard held; in inference mode a receiver-based access
+// becomes an entry requirement instead.
 func (g *guardWalker) checkAccess(sel *ast.SelectorExpr, held map[string]bool) {
-	s, ok := g.pass.TypesInfo.Selections[sel]
+	s, ok := g.info.Selections[sel]
 	if !ok || s.Kind() != types.FieldVal {
 		return
 	}
@@ -395,23 +507,32 @@ func (g *guardWalker) checkAccess(sel *ast.SelectorExpr, held map[string]bool) {
 	if !ok {
 		return
 	}
-	need := holdKey(exprKey(sel.X), info.guard)
+	base := exprKey(sel.X)
+	need := holdKey(base, info.guard)
 	if held[need] {
 		return
 	}
-	g.pass.Reportf(sel.Sel.Pos(),
+	if g.require != nil {
+		if base == g.recv {
+			g.require[info.guard] = true
+		}
+		return
+	}
+	g.report(sel.Sel.Pos(),
 		"%s.%s accessed without holding %s (field guarded by %q)",
 		info.structName, sel.Sel.Name, need, info.guard)
 }
 
-// checkHoldsContract reports call sites of //lint:holds-annotated
-// functions whose required locks are not held.
+// checkHoldsContract reports call sites of contract-carrying functions
+// (explicit //lint:holds or inferred) whose required locks are not held;
+// in inference mode an uncovered same-receiver requirement propagates to
+// the caller's own contract.
 func (g *guardWalker) checkHoldsContract(call *ast.CallExpr, held map[string]bool) {
-	fn := funcOf(g.pass.TypesInfo, call)
+	fn := funcOf(g.info, call)
 	if fn == nil {
 		return
 	}
-	c, ok := g.contracts[fn]
+	c, ok := g.contracts[funcID(fn)]
 	if !ok {
 		return
 	}
@@ -421,15 +542,23 @@ func (g *guardWalker) checkHoldsContract(call *ast.CallExpr, held map[string]boo
 	}
 	for _, fld := range c.fields {
 		need := holdKey(base, fld)
-		if !held[need] {
-			g.pass.Reportf(call.Pos(),
-				"call to %s requires %s held (//lint:holds %s)", fn.Name(), need, fld)
+		if held[need] {
+			continue
 		}
+		if g.require != nil {
+			if base == g.recv {
+				g.require[fld] = true
+			}
+			continue
+		}
+		g.report(call.Pos(),
+			"call to %s requires %s held (%s %s)", fn.Name(), need, c.origin(), fld)
 	}
 }
 
 // lockOp recognizes m.Lock()/m.RLock()/m.Unlock()/m.RUnlock() on a
-// sync.Mutex or sync.RWMutex and returns the canonical mutex key.
+// sync.Mutex, sync.RWMutex, or locker interface and returns the
+// canonical mutex key.
 func lockOp(info *types.Info, call *ast.CallExpr) (key string, locked, ok bool) {
 	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !isSel || len(call.Args) != 0 {
@@ -445,10 +574,36 @@ func lockOp(info *types.Info, call *ast.CallExpr) (key string, locked, ok bool) 
 		return "", false, false
 	}
 	tv, okType := info.Types[sel.X]
-	if !okType || !isMutexType(tv.Type) {
+	if !okType || !isLockableType(tv.Type) {
 		return "", false, false
 	}
 	return exprKey(sel.X), isLock, true
+}
+
+// tryLockKey recognizes m.TryLock()/m.TryRLock() and returns the mutex
+// key (the lock is held only where the call evaluated true).
+func tryLockKey(info *types.Info, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "TryLock" && sel.Sel.Name != "TryRLock") {
+		return "", false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !isLockableType(tv.Type) {
+		return "", false
+	}
+	return exprKey(sel.X), true
+}
+
+// notExpr unwraps a boolean negation.
+func notExpr(e ast.Expr) (ast.Expr, bool) {
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		return u.X, true
+	}
+	return nil, false
 }
 
 // deferredUnlocks returns the mutex keys unlocked by a deferred call:

@@ -58,6 +58,32 @@ func isMutexType(t types.Type) bool {
 	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
 }
 
+// isLockableType reports whether t is a concrete mutex or a locker
+// interface: sync.Locker, or any interface carrying both Lock and Unlock
+// (so code generic over its lock strategy is still tracked).
+func isLockableType(t types.Type) bool {
+	if isMutexType(t) {
+		return true
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	var hasLock, hasUnlock bool
+	for i := 0; i < iface.NumMethods(); i++ {
+		switch iface.Method(i).Name() {
+		case "Lock":
+			hasLock = true
+		case "Unlock":
+			hasUnlock = true
+		}
+	}
+	return hasLock && hasUnlock
+}
+
 // isAtomicType reports whether t (or its pointee) is a sync/atomic
 // wrapper type (Pointer[T], Bool, Int64, ...).
 func isAtomicType(t types.Type) bool {

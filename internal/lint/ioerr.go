@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// IOErr enforces the I/O-plane error contract: every error produced by an
+// ssdio, wal, or pagefile entry point must flow to a return, a panic, or
+// an explicit sink such as Forest.Crash — never be silently dropped. The
+// eq.-(10)-tuned gang force is only a commit point if every Psync error
+// reaches the caller.
+//
+// Source functions are found interprocedurally: any function in the I/O
+// packages with an error result is a base source (as is anything marked
+// `//lint:iosource`), and any function whose results include an error and
+// which calls a source is itself a source — so a helper wrapping
+// wal.Log.Force in fmt.Errorf("%w") or errors.Join is tracked two frames
+// above the syscall. At every call site of a source the analyzer flags:
+//
+//   - the call as a bare statement (the whole result set ignored)
+//   - an error result assigned to _
+//   - go/defer on a source call, whose error no one can observe
+//
+// Passing the error onward (return, argument, errors.Join, t.Fatal,
+// Forest.Crash) is consumption — as is binding it to a fresh variable,
+// since the compiler's unused-variable check then forces a read.
+// Intentional drops need a `//lint:ignore ioerr <reason>` on the line.
+var IOErr = &Analyzer{
+	Name: "ioerr",
+	Doc:  "check that I/O-plane errors (ssdio, wal, pagefile) are never silently dropped",
+	Run:  runIOErr,
+}
+
+// ioSourcePkgs are the packages whose error-returning functions form the
+// base of the source set.
+var ioSourcePkgs = map[string]bool{
+	"repro/internal/ssdio":    true,
+	"repro/internal/wal":      true,
+	"repro/internal/pagefile": true,
+}
+
+// ioErrState caches the program-wide source set, keyed by function ID.
+type ioErrState struct {
+	source map[string]bool
+}
+
+// ioSources computes (once) the transitive I/O-error source set.
+func (prog *Program) ioSources() *ioErrState {
+	if prog.ioState != nil {
+		return prog.ioState
+	}
+	st := &ioErrState{source: make(map[string]bool)}
+	prog.ioState = st
+	ids := prog.sortedFuncIDs()
+	for _, id := range ids {
+		node := prog.Funcs[id]
+		if len(errorResultIndexes(node.Obj)) == 0 {
+			continue
+		}
+		if ioSourcePkgs[node.Pkg.Path] || isIOSourceDirective(node.Decl.Doc) {
+			st.source[id] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range ids {
+			if st.source[id] {
+				continue
+			}
+			node := prog.Funcs[id]
+			if len(errorResultIndexes(node.Obj)) == 0 {
+				continue
+			}
+			for _, c := range node.Calls {
+				if st.source[c.CalleeID] {
+					st.source[id] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return st
+}
+
+// errorResultIndexes returns the positions of fn's results typed error.
+func errorResultIndexes(fn *types.Func) []int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type()
+	var idx []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func runIOErr(pass *Pass) error {
+	st := pass.Prog.ioSources()
+	if len(st.source) == 0 {
+		return nil
+	}
+	c := &ioErrChecker{pass: pass, st: st}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, c.check)
+		}
+	}
+	return nil
+}
+
+type ioErrChecker struct {
+	pass *Pass
+	st   *ioErrState
+}
+
+// sourceCall resolves call to a source function, or nil.
+func (c *ioErrChecker) sourceCall(e ast.Expr) *types.Func {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := funcOf(c.pass.TypesInfo, call)
+	if fn == nil || !c.st.source[funcID(fn)] {
+		return nil
+	}
+	return fn
+}
+
+func (c *ioErrChecker) check(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		if fn := c.sourceCall(n.X); fn != nil {
+			c.pass.Reportf(n.Pos(),
+				"error result of %s ignored; I/O-plane errors must reach a return, panic, or crash sink",
+				ioCallName(fn))
+		}
+	case *ast.GoStmt:
+		if fn := c.sourceCall(n.Call); fn != nil {
+			c.pass.Reportf(n.Pos(),
+				"error from %s dropped by go statement; no caller can observe it", ioCallName(fn))
+		}
+	case *ast.DeferStmt:
+		if fn := c.sourceCall(n.Call); fn != nil {
+			c.pass.Reportf(n.Pos(),
+				"error from %s dropped by defer; wrap it in a closure that consumes the error", ioCallName(fn))
+		}
+	case *ast.AssignStmt:
+		c.checkAssign(n)
+	}
+	return true
+}
+
+func (c *ioErrChecker) checkAssign(as *ast.AssignStmt) {
+	// Tuple form: err positions line up with the callee's result list.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		fn := c.sourceCall(as.Rhs[0])
+		if fn == nil {
+			return
+		}
+		for _, i := range errorResultIndexes(fn) {
+			if i < len(as.Lhs) {
+				c.checkErrDest(as.Lhs[i], fn)
+			}
+		}
+		return
+	}
+	// 1:1 assignments: only single-result error calls can appear.
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		fn := c.sourceCall(rhs)
+		if fn == nil {
+			continue
+		}
+		if idx := errorResultIndexes(fn); len(idx) == 1 && idx[0] == 0 &&
+			fn.Type().(*types.Signature).Results().Len() == 1 {
+			c.checkErrDest(as.Lhs[i], fn)
+		}
+	}
+}
+
+// checkErrDest flags an error result landing in the blank identifier.
+// Binding to any real variable is consumption: the compiler's
+// unused-variable check then guarantees a syntactic read.
+func (c *ioErrChecker) checkErrDest(dest ast.Expr, fn *types.Func) {
+	id, ok := ast.Unparen(dest).(*ast.Ident)
+	if !ok || id.Name != "_" {
+		return
+	}
+	c.pass.Reportf(id.Pos(),
+		"error result of %s discarded with _; propagate it or justify with //lint:ignore ioerr",
+		ioCallName(fn))
+}
+
+// ioCallName renders fn compactly for diagnostics: Type.Method or
+// pkg.Func.
+func ioCallName(fn *types.Func) string {
+	full := fn.FullName()
+	// Strip the package path qualifier for readability:
+	// "(*repro/internal/wal.Log).Force" -> "wal.Log.Force".
+	full = strings.NewReplacer("(", "", ")", "", "*", "").Replace(full)
+	if i := strings.LastIndex(full, "/"); i >= 0 {
+		full = full[i+1:]
+	}
+	return full
+}

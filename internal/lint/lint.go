@@ -41,16 +41,23 @@ type Analyzer struct {
 	Run func(pass *Pass) error
 }
 
-// Pass carries one analyzer's view of one type-checked package.
+// Pass carries one analyzer's view of one type-checked package. Prog is
+// the whole-program index shared by every pass of one run; the
+// interprocedural analyzers cache their summaries on it.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	Prog      *Program
 
-	diags *[]Diagnostic
+	pkgRef *Package
+	diags  *[]Diagnostic
 }
+
+// pkg returns the loaded package this pass analyzes.
+func (p *Pass) pkg() *Package { return p.pkgRef }
 
 // Diagnostic is one finding.
 type Diagnostic struct {
@@ -74,12 +81,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // All is the full analyzer suite in the order piolint runs it.
-var All = []*Analyzer{GuardedBy, WALOrder, Determinism, SnapshotMut}
+var All = []*Analyzer{GuardedBy, WALOrder, Determinism, SnapshotMut, LockOrder, IOErr}
 
-// RunAnalyzers executes the analyzers over pkg and returns their
-// findings, with //lint:ignore-suppressed diagnostics already filtered
-// out and the rest sorted by position.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// RunAnalyzers executes the analyzers over pkg — with prog supplying the
+// whole-program context the interprocedural analyzers need — and returns
+// their findings, with //lint:ignore-suppressed diagnostics already
+// filtered out and the rest sorted by position.
+func RunAnalyzers(prog *Program, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -88,6 +96,8 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
+			Prog:      prog,
+			pkgRef:    pkg,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {

@@ -24,7 +24,14 @@ var wantRe = regexp.MustCompile("`([^`]+)`")
 // expected.
 func testAnalyzer(t *testing.T, a *Analyzer) {
 	t.Helper()
-	pkgs, err := Load("repro/internal/lint/testdata/src/" + a.Name)
+	testFixture(t, a, "repro/internal/lint/testdata/src/"+a.Name)
+}
+
+// testFixture runs one analyzer over the fixture package at the given
+// import path, with the whole-program index built from just that package.
+func testFixture(t *testing.T, a *Analyzer, path string) {
+	t.Helper()
+	pkgs, err := Load(path)
 	if err != nil {
 		t.Fatalf("loading fixture: %v", err)
 	}
@@ -32,7 +39,7 @@ func testAnalyzer(t *testing.T, a *Analyzer) {
 		t.Fatalf("loaded %d packages, want 1", len(pkgs))
 	}
 	pkg := pkgs[0]
-	diags, err := RunAnalyzers(pkg, []*Analyzer{a})
+	diags, err := RunAnalyzers(NewProgram(pkgs), pkg, []*Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
@@ -95,6 +102,15 @@ func TestGuardedBy(t *testing.T)   { testAnalyzer(t, GuardedBy) }
 func TestWALOrder(t *testing.T)    { testAnalyzer(t, WALOrder) }
 func TestDeterminism(t *testing.T) { testAnalyzer(t, Determinism) }
 func TestSnapshotMut(t *testing.T) { testAnalyzer(t, SnapshotMut) }
+func TestLockOrder(t *testing.T)   { testAnalyzer(t, LockOrder) }
+func TestIOErr(t *testing.T)       { testAnalyzer(t, IOErr) }
+
+// TestLockOrderCycleInjection is the negative control for the CI gate: a
+// fixture whose call graph contains a deliberate lock-order inversion
+// (and therefore a cycle) must fail the lint run.
+func TestLockOrderCycleInjection(t *testing.T) {
+	testFixture(t, LockOrder, "repro/internal/lint/testdata/src/lockordercycle")
+}
 
 // TestRepoIsClean is the in-process form of the CI gate: the full
 // analyzer suite over the production packages must report nothing.
@@ -103,11 +119,12 @@ func TestRepoIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loading repo: %v", err)
 	}
+	prog := NewProgram(pkgs)
 	for _, pkg := range pkgs {
 		if strings.Contains(pkg.Path, "lint/testdata/") {
 			continue
 		}
-		diags, err := RunAnalyzers(pkg, All)
+		diags, err := RunAnalyzers(prog, pkg, All)
 		if err != nil {
 			t.Fatalf("%s: %v", pkg.Path, err)
 		}

@@ -1,0 +1,776 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LockOrder derives the static lock-acquisition graph of the whole
+// program and checks it against the declared hierarchy:
+//
+//	//lint:lockorder core.Forest.migMu < core.forestShard.mu < wal.Log.mu
+//
+// Mutex identity is the lock CLASS — "pkg.Type.field" for struct-field
+// mutexes, "pkg.var" for package-level ones — so every forestShard's mu
+// is one node in the graph. An edge A -> B is recorded whenever an
+// instance of B is acquired while an instance of A is held, either
+// directly in one function body or through a call chain: per-function
+// summaries (transitively acquired classes, locks still held at exit,
+// caller-held locks released) are iterated to a fixpoint, so a shard
+// mutex taken inside lockPair is known to be held across the migration
+// copy loop two frames above it.
+//
+// Diagnostics fire for (a) an acquisition contradicting the declared
+// partial order, (b) a cross-class acquisition covered by no declaration,
+// (c) two instances of one class held together without a
+// `//lint:lockorder-multi <class> <reason>` declaration documenting the
+// canonical instance order, and (d) any cycle in the observed graph.
+// TryLock never blocks, so it creates no inbound ordering edge — only
+// the held-set consequences of a successful acquisition.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "check the program's lock-acquisition graph against the declared //lint:lockorder hierarchy",
+	Run:  runLockOrder,
+}
+
+// lockOrderScope: the concurrency planes where ordering matters, plus the
+// analyzer's own fixtures.
+var lockOrderScope = scopedTo("lockorder",
+	"repro/internal/core",
+	"repro/internal/wal",
+	"repro/internal/ssdio",
+	"repro/internal/pagefile",
+)
+
+// lockOrderState is the cached whole-program result: diagnostics keyed by
+// the package that owns their position.
+type lockOrderState struct {
+	diags []lockDiag
+}
+
+type lockDiag struct {
+	pkgPath string
+	pos     token.Pos
+	msg     string
+}
+
+// lockSummary is one function's contribution to the acquisition graph.
+type lockSummary struct {
+	node *FuncNode
+	// acquires: lock classes this function acquires directly.
+	acquires map[string]bool
+	// trans: classes acquired by this function or anything it
+	// (synchronously) calls — the fixpoint over acquires.
+	trans map[string]bool
+	// edges: held-class -> acquired-class pairs observed in this body.
+	edges []rawLockEdge
+	// calls: resolved call sites (async ones excluded from trans).
+	calls []heldCall
+	// exitHeld: classes locked here and still held when returning
+	// (lockPair); exitUnlocked: caller-held classes released here
+	// (unlockPair).
+	exitHeld     map[string]bool
+	exitUnlocked map[string]bool
+}
+
+type rawLockEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+type heldCall struct {
+	calleeID string
+	async    bool
+}
+
+func runLockOrder(pass *Pass) error {
+	st := pass.Prog.lockOrderResults()
+	path := pass.pkg().Path
+	if !lockOrderScope(path) {
+		return nil
+	}
+	for _, d := range st.diags {
+		if d.pkgPath == path {
+			pass.Reportf(d.pos, "%s", d.msg)
+		}
+	}
+	return nil
+}
+
+// lockDecls is the merged //lint:lockorder partial order.
+type lockDecls struct {
+	next     map[string]map[string]bool // direct A < B constraints
+	multi    map[string]bool
+	declared map[string]bool
+}
+
+func collectLockOrderDecls(prog *Program) *lockDecls {
+	d := &lockDecls{
+		next:     make(map[string]map[string]bool),
+		multi:    make(map[string]bool),
+		declared: make(map[string]bool),
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if chain := parseLockOrder(c.Text); chain != nil {
+						for i := 0; i+1 < len(chain); i++ {
+							a, b := chain[i], chain[i+1]
+							if d.next[a] == nil {
+								d.next[a] = make(map[string]bool)
+							}
+							d.next[a][b] = true
+							d.declared[a], d.declared[b] = true, true
+						}
+					}
+					if class, ok := parseLockOrderMulti(c.Text); ok {
+						d.multi[class] = true
+						d.declared[class] = true
+					}
+				}
+			}
+		}
+	}
+	return d
+}
+
+// transClosure computes reachability over adj.
+func transClosure(adj map[string]map[string]bool) map[string]map[string]bool {
+	reach := make(map[string]map[string]bool, len(adj))
+	var nodes []string
+	seen := make(map[string]bool)
+	for a, bs := range adj {
+		if !seen[a] {
+			seen[a] = true
+			nodes = append(nodes, a)
+		}
+		for b := range bs {
+			if !seen[b] {
+				seen[b] = true
+				nodes = append(nodes, b)
+			}
+		}
+	}
+	for _, n := range nodes {
+		r := make(map[string]bool)
+		var dfs func(string)
+		dfs = func(x string) {
+			for y := range adj[x] {
+				if !r[y] {
+					r[y] = true
+					dfs(y)
+				}
+			}
+		}
+		dfs(n)
+		reach[n] = r
+	}
+	return reach
+}
+
+// lockOrderResults builds (once) the whole-program acquisition graph and
+// its diagnostics. The per-function walk runs several rounds: round N
+// consumes round N-1's summaries at call sites, so held-across-call and
+// released-by-callee effects propagate up chains until the edge set is
+// stable.
+func (prog *Program) lockOrderResults() *lockOrderState {
+	if prog.lockState != nil {
+		return prog.lockState
+	}
+	st := &lockOrderState{}
+	prog.lockState = st
+
+	decl := collectLockOrderDecls(prog)
+	ids := prog.sortedFuncIDs()
+
+	var sums map[string]*lockSummary
+	prevPrint := ""
+	for iter := 0; iter < 6; iter++ {
+		sums = walkAllLocks(prog, ids, sums)
+		lockTransFixpoint(ids, sums)
+		print := lockFingerprint(ids, sums)
+		if print == prevPrint {
+			break
+		}
+		prevPrint = print
+	}
+
+	// Final edge set, deduped by (from, to) at the first position in
+	// deterministic (package, file, offset) order.
+	type edgeRec struct {
+		from, to string
+		pos      token.Pos
+		pkg      *Package
+	}
+	var all []edgeRec
+	for _, id := range ids {
+		s := sums[id]
+		if !lockOrderScope(s.node.Pkg.Path) {
+			continue
+		}
+		for _, e := range s.edges {
+			all = append(all, edgeRec{e.from, e.to, e.pos, s.node.Pkg})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		a := all[i].pkg.Fset.Position(all[i].pos)
+		b := all[j].pkg.Fset.Position(all[j].pos)
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	type edgeKey struct{ from, to string }
+	unique := make(map[edgeKey]edgeRec)
+	var order []edgeKey
+	for _, e := range all {
+		k := edgeKey{e.from, e.to}
+		if _, ok := unique[k]; !ok {
+			unique[k] = e
+			order = append(order, k)
+		}
+	}
+
+	reach := transClosure(decl.next)
+	for _, k := range order {
+		e := unique[k]
+		switch {
+		case k.from == k.to:
+			if !decl.multi[k.from] {
+				st.report(e.pkg, e.pos,
+					"two %s instances held at once; declare '//lint:lockorder-multi %s <reason>' if instances are acquired in a canonical order",
+					k.from, k.from)
+			}
+		case reach[k.from][k.to]:
+			// Covered by the declared hierarchy.
+		case reach[k.to][k.from]:
+			st.report(e.pkg, e.pos,
+				"lock order inversion: %s acquired while %s is held, but the declared hierarchy says %s < %s",
+				k.to, k.from, k.to, k.from)
+		default:
+			st.report(e.pkg, e.pos,
+				"lock acquisition %s -> %s is not covered by any //lint:lockorder declaration",
+				k.from, k.to)
+		}
+	}
+
+	// Cycle detection over the observed graph (self-edges excluded; they
+	// are the multi check above).
+	adj := make(map[string]map[string]bool)
+	for _, k := range order {
+		if k.from == k.to {
+			continue
+		}
+		if adj[k.from] == nil {
+			adj[k.from] = make(map[string]bool)
+		}
+		adj[k.from][k.to] = true
+	}
+	obsReach := transClosure(adj)
+	var nodes []string
+	for n := range obsReach {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	inCycle := make(map[string]bool)
+	for _, n := range nodes {
+		if inCycle[n] || !obsReach[n][n] {
+			continue
+		}
+		comp := []string{n}
+		inCycle[n] = true
+		for _, m := range nodes {
+			if m != n && obsReach[n][m] && obsReach[m][n] {
+				comp = append(comp, m)
+				inCycle[m] = true
+			}
+		}
+		sort.Strings(comp)
+		// Anchor the report at the first recorded edge inside the cycle.
+		for _, k := range order {
+			if k.from == k.to || !contains(comp, k.from) || !contains(comp, k.to) {
+				continue
+			}
+			e := unique[k]
+			st.report(e.pkg, e.pos, "lock-order cycle among {%s}", strings.Join(comp, ", "))
+			break
+		}
+	}
+	return st
+}
+
+func (st *lockOrderState) report(pkg *Package, pos token.Pos, format string, args ...any) {
+	st.diags = append(st.diags, lockDiag{
+		pkgPath: pkg.Path,
+		pos:     pos,
+		msg:     fmt.Sprintf(format, args...),
+	})
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func walkAllLocks(prog *Program, ids []string, prev map[string]*lockSummary) map[string]*lockSummary {
+	sums := make(map[string]*lockSummary, len(ids))
+	for _, id := range ids {
+		node := prog.Funcs[id]
+		w := &lockWalker{
+			pkg:  node.Pkg,
+			prev: prev,
+			sum: &lockSummary{
+				node:         node,
+				acquires:     make(map[string]bool),
+				exitHeld:     make(map[string]bool),
+				exitUnlocked: make(map[string]bool),
+			},
+			deferred: make(map[string]bool),
+		}
+		held := make(map[string]string)
+		w.stmts(node.Decl.Body.List, held)
+		for key, class := range held {
+			if class != "" && !w.deferred[key] {
+				w.sum.exitHeld[class] = true
+			}
+		}
+		sums[id] = w.sum
+	}
+	return sums
+}
+
+func lockTransFixpoint(ids []string, sums map[string]*lockSummary) {
+	for _, id := range ids {
+		s := sums[id]
+		s.trans = make(map[string]bool, len(s.acquires))
+		for c := range s.acquires {
+			s.trans[c] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range ids {
+			s := sums[id]
+			for _, c := range s.calls {
+				if c.async {
+					continue
+				}
+				cs := sums[c.calleeID]
+				if cs == nil {
+					continue
+				}
+				for cls := range cs.trans {
+					if !s.trans[cls] {
+						s.trans[cls] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// lockFingerprint summarizes the mutable parts of the summaries so the
+// outer walk loop can detect convergence.
+func lockFingerprint(ids []string, sums map[string]*lockSummary) string {
+	var b strings.Builder
+	for _, id := range ids {
+		s := sums[id]
+		b.WriteString(id)
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(len(s.edges)))
+		b.WriteByte('|')
+		b.WriteString(strings.Join(sortedKeys(s.trans), ","))
+		b.WriteByte('|')
+		b.WriteString(strings.Join(sortedKeys(s.exitHeld), ","))
+		b.WriteByte('|')
+		b.WriteString(strings.Join(sortedKeys(s.exitUnlocked), ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mutexCallOperand recognizes a mutex method call and returns its operand
+// and kind: "lock" (blocking acquire), "unlock", or "try" (non-blocking
+// acquire — creates no ordering edge).
+func mutexCallOperand(pkg *Package, call *ast.CallExpr) (ast.Expr, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil, ""
+	}
+	var kind string
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = "lock"
+	case "Unlock", "RUnlock":
+		kind = "unlock"
+	case "TryLock", "TryRLock":
+		kind = "try"
+	default:
+		return nil, ""
+	}
+	tv, ok := pkg.TypesInfo.Types[sel.X]
+	if !ok || !isLockableType(tv.Type) {
+		return nil, ""
+	}
+	return sel.X, kind
+}
+
+// lockWalker tracks held lock instances (key -> class) through one
+// function body in source order, branch-cloned like guardWalker.
+type lockWalker struct {
+	pkg        *Package
+	sum        *lockSummary
+	prev       map[string]*lockSummary
+	deferred   map[string]bool
+	asyncDepth int
+}
+
+func cloneLockSet(s map[string]string) map[string]string {
+	c := make(map[string]string, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func intersectLockSet(dst, src map[string]string) {
+	for k := range dst {
+		if _, ok := src[k]; !ok {
+			delete(dst, k)
+		}
+	}
+}
+
+func heldClasses(held map[string]string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, c := range held {
+		if c != "" && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// acquire records a blocking acquisition: edges from every held class to
+// the new class, then the instance joins the held set.
+func (w *lockWalker) acquire(key, class string, pos token.Pos, held map[string]string) {
+	if class != "" {
+		for _, from := range heldClasses(held) {
+			w.sum.edges = append(w.sum.edges, rawLockEdge{from: from, to: class, pos: pos})
+		}
+		w.sum.acquires[class] = true
+	}
+	held[key] = class
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt, held map[string]string) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held map[string]string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.scan(s.Cond, held)
+		body := cloneLockSet(held)
+		negKey, negClass := "", ""
+		if op, ok := tryLockOperand(w.pkg, s.Cond); ok {
+			body[exprKey(op)] = lockClass(w.pkg, op)
+			if c := lockClass(w.pkg, op); c != "" {
+				w.sum.acquires[c] = true
+			}
+		} else if neg, isNeg := notExpr(s.Cond); isNeg {
+			if op, ok := tryLockOperand(w.pkg, neg); ok {
+				negKey, negClass = exprKey(op), lockClass(w.pkg, op)
+			}
+		}
+		w.stmts(s.Body.List, body)
+		switch {
+		case s.Else != nil:
+			els := cloneLockSet(held)
+			w.stmt(s.Else, els)
+			switch {
+			case terminates(s.Body.List):
+				intersectLockSet(held, els)
+			case elseTerminates(s.Else):
+				intersectLockSet(held, body)
+			default:
+				intersectLockSet(held, body)
+				intersectLockSet(held, els)
+			}
+		case terminates(s.Body.List):
+			if negKey != "" {
+				held[negKey] = negClass
+				if negClass != "" {
+					w.sum.acquires[negClass] = true
+				}
+			}
+		default:
+			intersectLockSet(held, body)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.scan(s.Cond, held)
+		}
+		body := cloneLockSet(held)
+		w.stmts(s.Body.List, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+		intersectLockSet(held, body)
+	case *ast.RangeStmt:
+		w.scan(s.X, held)
+		body := cloneLockSet(held)
+		w.stmts(s.Body.List, body)
+		intersectLockSet(held, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.scan(s.Tag, held)
+		}
+		w.caseBodies(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.stmt(s.Assign, held)
+		w.caseBodies(s.Body, held)
+	case *ast.SelectStmt:
+		w.caseBodies(s.Body, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.DeferStmt:
+		ops := deferredUnlockOperands(w.pkg, s.Call)
+		for _, op := range ops {
+			key := exprKey(op)
+			w.deferred[key] = true
+			if _, ok := held[key]; !ok {
+				held[key] = lockClass(w.pkg, op)
+			}
+		}
+		if len(ops) == 0 {
+			w.scan(s.Call, held)
+		}
+	case *ast.ExprStmt:
+		w.scan(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scan(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.scan(e, held)
+		}
+	case *ast.IncDecStmt:
+		w.scan(s.X, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scan(e, held)
+		}
+	case *ast.GoStmt:
+		w.asyncDepth++
+		w.scan(s.Call, make(map[string]string))
+		w.asyncDepth--
+	case *ast.SendStmt:
+		w.scan(s.Chan, held)
+		w.scan(s.Value, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scan(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (w *lockWalker) caseBodies(body *ast.BlockStmt, held map[string]string) {
+	for _, c := range body.List {
+		var list []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.scan(e, held)
+			}
+			list = c.Body
+		case *ast.CommClause:
+			list = c.Body
+		}
+		clause := cloneLockSet(held)
+		w.stmts(list, clause)
+		if !terminates(list) {
+			intersectLockSet(held, clause)
+		}
+	}
+}
+
+func (w *lockWalker) scan(e ast.Expr, held map[string]string) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		if op, kind := mutexCallOperand(w.pkg, e); op != nil {
+			w.scan(op, held)
+			key := exprKey(op)
+			switch kind {
+			case "lock":
+				w.acquire(key, lockClass(w.pkg, op), e.Pos(), held)
+			case "unlock":
+				if _, ok := held[key]; !ok {
+					if c := lockClass(w.pkg, op); c != "" {
+						w.sum.exitUnlocked[c] = true
+					}
+				}
+				delete(held, key)
+			case "try":
+				// Handled at the enclosing if; a bare TryLock whose
+				// result is unused acquires nothing we can track.
+			}
+			return
+		}
+		for _, a := range e.Args {
+			w.scan(a, held)
+		}
+		w.scan(e.Fun, held)
+		w.applyCall(e, held)
+	case *ast.FuncLit:
+		w.stmts(e.Body.List, cloneLockSet(held))
+	case *ast.SelectorExpr:
+		w.scan(e.X, held)
+	case *ast.BinaryExpr:
+		w.scan(e.X, held)
+		w.scan(e.Y, held)
+	case *ast.UnaryExpr:
+		w.scan(e.X, held)
+	case *ast.StarExpr:
+		w.scan(e.X, held)
+	case *ast.ParenExpr:
+		w.scan(e.X, held)
+	case *ast.IndexExpr:
+		w.scan(e.X, held)
+		w.scan(e.Index, held)
+	case *ast.SliceExpr:
+		w.scan(e.X, held)
+		w.scan(e.Low, held)
+		w.scan(e.High, held)
+		w.scan(e.Max, held)
+	case *ast.TypeAssertExpr:
+		w.scan(e.X, held)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				w.scan(kv.Value, held)
+				continue
+			}
+			w.scan(el, held)
+		}
+	case *ast.KeyValueExpr:
+		w.scan(e.Value, held)
+	}
+}
+
+// applyCall records the call for the transitive fixpoint and, when a
+// summary from the previous round is available, materializes its effects:
+// edges from every held class to everything the callee acquires, plus the
+// callee's net lock/unlock effect on the caller's held set.
+func (w *lockWalker) applyCall(call *ast.CallExpr, held map[string]string) {
+	fn := funcOf(w.pkg.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	id := funcID(fn)
+	async := w.asyncDepth > 0
+	w.sum.calls = append(w.sum.calls, heldCall{calleeID: id, async: async})
+	if async || w.prev == nil {
+		return
+	}
+	ps := w.prev[id]
+	if ps == nil {
+		return
+	}
+	for _, from := range heldClasses(held) {
+		for _, to := range sortedKeys(ps.trans) {
+			w.sum.edges = append(w.sum.edges, rawLockEdge{from: from, to: to, pos: call.Pos()})
+		}
+	}
+	for _, c := range sortedKeys(ps.exitUnlocked) {
+		for k, v := range held {
+			if v == c {
+				delete(held, k)
+			}
+		}
+	}
+	for _, c := range sortedKeys(ps.exitHeld) {
+		held["·"+c+"@"+strconv.Itoa(int(call.Pos()))] = c
+		w.sum.acquires[c] = true
+	}
+}
+
+// tryLockOperand recognizes m.TryLock()/m.TryRLock() used as a condition.
+func tryLockOperand(pkg *Package, e ast.Expr) (ast.Expr, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	op, kind := mutexCallOperand(pkg, call)
+	if kind != "try" {
+		return nil, false
+	}
+	return op, true
+}
+
+// deferredUnlockOperands returns the mutex operands unlocked by a
+// deferred call — direct m.Unlock() or unlocks inside a deferred closure.
+func deferredUnlockOperands(pkg *Package, call *ast.CallExpr) []ast.Expr {
+	if op, kind := mutexCallOperand(pkg, call); kind == "unlock" {
+		return []ast.Expr{op}
+	}
+	fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	var ops []ast.Expr
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if op, kind := mutexCallOperand(pkg, c); kind == "unlock" {
+				ops = append(ops, op)
+			}
+		}
+		return true
+	})
+	return ops
+}

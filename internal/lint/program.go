@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Program is the whole-program view behind the interprocedural analyzers
+// (lockorder, ioerr, and guardedby's inferred caller contracts): every
+// loaded package's functions, keyed by a stable cross-package ID, with
+// their statically resolved call sites. Each package is type-checked
+// against export data, so a *types.Func seen at a call site in one
+// package is a different object from the defining package's — the string
+// ID (types.Func.FullName, which is deterministic from package path,
+// receiver and name) is what links them.
+//
+// Interprocedural summaries are computed lazily on first use and cached;
+// the driver runs single-threaded, so no locking is needed.
+type Program struct {
+	Pkgs  []*Package
+	Funcs map[string]*FuncNode
+
+	lockState *lockOrderState           // lazily built by lockorder
+	ioState   *ioErrState               // lazily built by ioerr
+	contracts map[string]*holdsContract // lazily built by guardedby (explicit + inferred)
+}
+
+// FuncNode is one declared function or method of the program.
+type FuncNode struct {
+	ID   string
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+	// Calls lists the statically resolvable call sites in body order.
+	Calls []CallSite
+}
+
+// CallSite is one resolved static call inside a function body.
+type CallSite struct {
+	Call     *ast.CallExpr
+	CalleeID string
+	Pos      token.Pos
+}
+
+// funcID returns the stable cross-package identifier of fn — its
+// FullName, e.g. "(*repro/internal/wal.Log).Force" or
+// "repro/internal/core.splitBudget".
+func funcID(fn *types.Func) string {
+	return fn.FullName()
+}
+
+// NewProgram indexes the loaded packages' functions and call sites.
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{Pkgs: pkgs, Funcs: make(map[string]*FuncNode)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{ID: funcID(obj), Pkg: pkg, Decl: fd, Obj: obj}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := funcOf(pkg.TypesInfo, call); callee != nil {
+						node.Calls = append(node.Calls, CallSite{
+							Call: call, CalleeID: funcID(callee), Pos: call.Pos(),
+						})
+					}
+					return true
+				})
+				prog.Funcs[node.ID] = node
+			}
+		}
+	}
+	return prog
+}
+
+// sortedFuncIDs returns the program's function IDs in deterministic order,
+// so fixpoint iterations and diagnostics never depend on map order.
+func (prog *Program) sortedFuncIDs() []string {
+	ids := make([]string, 0, len(prog.Funcs))
+	for id := range prog.Funcs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// recvName returns the receiver identifier of fd ("" for plain functions
+// and anonymous receivers).
+func recvName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// lockClass canonicalizes the mutex operand of a Lock/Unlock call into a
+// program-wide lock CLASS. A struct field becomes "pkg.Type.field" (every
+// instance of Forest.migMu is one class), a package-level variable becomes
+// "pkg.var". Locals and unresolvable chains return "" — they have no
+// cross-function ordering identity.
+func lockClass(pkg *Package, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if named := namedType(sel.Recv()); named != nil {
+				obj := named.Obj()
+				if obj.Pkg() != nil {
+					return obj.Pkg().Name() + "." + obj.Name() + "." + e.Sel.Name
+				}
+			}
+			return ""
+		}
+		// Qualified package-level var (pkg.mu).
+		if obj, ok := pkg.TypesInfo.Uses[e.Sel].(*types.Var); ok && isPkgLevel(obj) {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+	case *ast.Ident:
+		if obj, ok := pkg.TypesInfo.Uses[e].(*types.Var); ok && isPkgLevel(obj) {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+	}
+	return ""
+}
+
+// isPkgLevel reports whether v is a package-level variable.
+func isPkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

@@ -77,3 +77,53 @@ func escapeHatch(c *counter) {
 	//lint:ignore guardedby fixture for the suppression path
 	c.n++
 }
+
+func tryLockGuardsTrueBranchOnly(c *counter) {
+	if c.mu.TryLock() {
+		c.n++
+		c.mu.Unlock()
+	}
+	c.n++ // want `counter\.n accessed without holding c\.mu`
+}
+
+func negatedTryLockEarlyReturn(c *counter) {
+	if !c.mu.TryLock() {
+		return
+	}
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// lockerBox guards a field with an interface-typed lock (sync.Locker),
+// which the analyzer must track like a concrete mutex.
+type lockerBox struct {
+	l sync.Locker
+	v int // guarded by l
+}
+
+func lockerInterfaceTracked(b *lockerBox) {
+	b.l.Lock()
+	b.v++
+	b.l.Unlock()
+	b.v++ // want `lockerBox\.v accessed without holding b\.l`
+}
+
+// bumpQuietly has no //lint:holds directive: the engine must INFER that
+// callers hold c.mu from the unguarded field access below.
+func (c *counter) bumpQuietly() {
+	c.n++
+}
+
+// bumpChain inherits bumpQuietly's inferred requirement through the
+// same-receiver call chain.
+func (c *counter) bumpChain() {
+	c.bumpQuietly()
+	c.bumpQuietly()
+}
+
+func inferredContractCallSites(c *counter) {
+	c.bumpChain() // want `call to bumpChain requires c\.mu held \(inferred caller contract mu\)`
+	c.mu.Lock()
+	c.bumpChain()
+	c.mu.Unlock()
+}

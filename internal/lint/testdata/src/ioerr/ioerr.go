@@ -1,0 +1,95 @@
+// Package ioerr is the golden-test fixture for the ioerr analyzer: each
+// `// want` comment marks a line the analyzer must flag with a message
+// matching the backquoted regexp. The //lint:iosource directives stand
+// in for the real ssdio/wal/pagefile entry points, which are sources by
+// package path.
+package ioerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// readBlock is an I/O-plane entry point for this fixture.
+//
+//lint:iosource
+func readBlock(off int64) ([]byte, error) {
+	if off < 0 {
+		return nil, errors.New("negative offset")
+	}
+	return make([]byte, 8), nil
+}
+
+// syncAll is an I/O-plane entry point for this fixture.
+//
+//lint:iosource
+func syncAll() error {
+	return nil
+}
+
+// readChecked wraps readBlock; having an error result and calling a
+// source makes it a DERIVED source — drops of its error are flagged too.
+func readChecked(off int64) ([]byte, error) {
+	b, err := readBlock(off)
+	if err != nil {
+		return nil, fmt.Errorf("checked read: %w", err)
+	}
+	return b, nil
+}
+
+func ignoredStatement() {
+	syncAll() // want `error result of ioerr\.syncAll ignored`
+}
+
+func ignoredDerivedWrapper() {
+	readChecked(0) // want `error result of ioerr\.readChecked ignored`
+}
+
+func blankSingle() {
+	_ = syncAll() // want `error result of ioerr\.syncAll discarded with _`
+}
+
+func blankInTuple() []byte {
+	b, _ := readBlock(0) // want `error result of ioerr\.readBlock discarded with _`
+	return b
+}
+
+func droppedByGo() {
+	go syncAll() // want `error from ioerr\.syncAll dropped by go statement`
+}
+
+func droppedByDefer() {
+	defer syncAll() // want `error from ioerr\.syncAll dropped by defer`
+}
+
+// propagated returns the error: consumption, no diagnostic.
+func propagated() error {
+	return syncAll()
+}
+
+// joined feeds both errors into errors.Join: consumption.
+func joined() error {
+	err1 := syncAll()
+	err2 := syncAll()
+	return errors.Join(err1, err2)
+}
+
+// panicked consumes the error by panicking with it.
+func panicked() {
+	if err := syncAll(); err != nil {
+		panic(err)
+	}
+}
+
+// crashSink models Forest.Crash: the error flows into a sink argument.
+func crashSink(record func(error)) {
+	if err := syncAll(); err != nil {
+		record(err)
+	}
+}
+
+// justified documents an intentional drop with the escape hatch.
+func justified() {
+	//lint:ignore ioerr fixture for the suppression path; best-effort prefetch
+	syncAll()
+}

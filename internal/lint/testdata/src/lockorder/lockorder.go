@@ -1,0 +1,144 @@
+// Package lockorder is the golden-test fixture for the lockorder
+// analyzer: each `// want` comment marks a line the analyzer must flag
+// with a message matching the backquoted regexp.
+//
+// The declared hierarchy for this fixture:
+//
+//lint:lockorder lockorder.pair.a < lockorder.pair.b
+//lint:lockorder lockorder.pair.b < lockorder.pair.c
+//lint:lockorder lockorder.inv.x < lockorder.inv.y
+//lint:lockorder lockorder.chain.hi < lockorder.chain.lo
+//lint:lockorder lockorder.nest.outer < lockorder.nest.inner
+//lint:lockorder-multi lockorder.multiSet.m instances are acquired in ascending index order
+package lockorder
+
+import "sync"
+
+type pair struct {
+	a, b, c sync.Mutex
+}
+
+// goodNesting follows the declared chain; a -> c is covered by
+// transitivity.
+func goodNesting(p *pair) {
+	p.a.Lock()
+	p.b.Lock()
+	p.c.Lock()
+	p.c.Unlock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+type inv struct {
+	x, y sync.Mutex
+}
+
+// inverted acquires against the declared x < y order.
+func inverted(i *inv) {
+	i.y.Lock()
+	i.x.Lock() // want `lock order inversion: lockorder\.inv\.x acquired while lockorder\.inv\.y is held`
+	i.x.Unlock()
+	i.y.Unlock()
+}
+
+type solo struct {
+	m, n sync.Mutex
+}
+
+// uncovered nests two mutexes no declaration mentions.
+func uncovered(s *solo) {
+	s.m.Lock()
+	s.n.Lock() // want `lock acquisition lockorder\.solo\.m -> lockorder\.solo\.n is not covered by any //lint:lockorder declaration`
+	s.n.Unlock()
+	s.m.Unlock()
+}
+
+type cell struct {
+	mu sync.Mutex
+}
+
+// twoCells holds two instances of an undeclared-multi class at once.
+func twoCells(a, b *cell) {
+	a.mu.Lock()
+	b.mu.Lock() // want `two lockorder\.cell\.mu instances held at once`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+type multiSet struct {
+	m sync.Mutex
+}
+
+// twoMulti is the same shape as twoCells, but the class is declared
+// lockorder-multi, so it is clean.
+func twoMulti(a, b *multiSet) {
+	a.m.Lock()
+	b.m.Lock()
+	b.m.Unlock()
+	a.m.Unlock()
+}
+
+type chain struct {
+	hi, lo sync.Mutex
+}
+
+// lockLo returns with lo held — the lockPair shape. The summary's
+// exit-held set carries the lock into the caller.
+func lockLo(c *chain) {
+	c.lo.Lock()
+}
+
+// heldAcrossCall acquires hi while lo is still held from the helper:
+// an inversion visible only interprocedurally.
+func heldAcrossCall(c *chain) {
+	lockLo(c)
+	c.hi.Lock() // want `lock order inversion: lockorder\.chain\.hi acquired while lockorder\.chain\.lo is held`
+	c.hi.Unlock()
+	c.lo.Unlock()
+}
+
+type nest struct {
+	outer, inner sync.Mutex
+}
+
+func acquireInner(n *nest) {
+	n.inner.Lock()
+	n.inner.Unlock()
+}
+
+// outerThenCall creates the outer -> inner edge through a call; it is
+// covered by the declaration, so no diagnostic.
+func outerThenCall(n *nest) {
+	n.outer.Lock()
+	acquireInner(n)
+	n.outer.Unlock()
+}
+
+type opt struct {
+	m, t sync.Mutex
+}
+
+// tryNeverBlocks: TryLock cannot deadlock, so it creates no ordering
+// edge even though m is held — no diagnostic despite no declaration.
+func tryNeverBlocks(o *opt) {
+	o.m.Lock()
+	if o.t.TryLock() {
+		o.t.Unlock()
+	}
+	o.m.Unlock()
+}
+
+type spawned struct {
+	m, n sync.Mutex
+}
+
+// goroutineIsolated: the spawned goroutine holds nothing from its
+// spawner, so no m -> n edge exists.
+func goroutineIsolated(s *spawned) {
+	s.m.Lock()
+	go func() {
+		s.n.Lock()
+		s.n.Unlock()
+	}()
+	s.m.Unlock()
+}

@@ -1,0 +1,28 @@
+// Package lockordercycle injects a deliberate lock-order cycle: two
+// functions acquire the same two mutex classes in opposite orders. The
+// analyzer must report both the inversion against the declared order and
+// the resulting cycle — this fixture is the negative control proving the
+// CI gate would catch a seeded inversion.
+//
+//lint:lockorder lockordercycle.res.first < lockordercycle.res.second
+package lockordercycle
+
+import "sync"
+
+type res struct {
+	first, second sync.Mutex
+}
+
+func forward(r *res) {
+	r.first.Lock()
+	r.second.Lock() // want `lock-order cycle among \{lockordercycle\.res\.first, lockordercycle\.res\.second\}`
+	r.second.Unlock()
+	r.first.Unlock()
+}
+
+func backward(r *res) {
+	r.second.Lock()
+	r.first.Lock() // want `lock order inversion: lockordercycle\.res\.first acquired while lockordercycle\.res\.second is held`
+	r.first.Unlock()
+	r.second.Unlock()
+}

@@ -2,6 +2,14 @@
 // allocation, single-page and batched (psync) multi-page reads and writes.
 // Every index structure in this repository (B+-tree, PIO B-tree, BFTL,
 // FD-tree, B-link tree) stores its nodes through this layer.
+//
+// This package is an I/O plane: piolint's ioerr analyzer treats every
+// error-returning function here as an error source and fails CI if a
+// caller — at any depth of wrapping — drops the error instead of
+// propagating it to a return, a panic, or a crash sink. A future
+// real-hardware backend surfaces pwritev2/io_uring failures through
+// exactly these results, so a swallowed error here would silently void
+// the durability contract.
 package pagefile
 
 import (

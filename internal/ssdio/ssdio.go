@@ -58,8 +58,8 @@ type Space struct {
 	dev *flashsim.Device
 
 	mu    sync.Mutex
-	next  int64
-	files map[string]*File
+	next  int64            // guarded by mu
+	files map[string]*File // guarded by mu
 }
 
 // NewSpace creates an empty space on dev.
@@ -125,7 +125,7 @@ type File struct {
 	base  int64
 
 	mu   sync.Mutex
-	data []byte
+	data []byte // guarded by mu
 
 	// writeOrder models the per-file reader-writer lock POSIX-compliant
 	// file systems use to satisfy write ordering for synchronous writes
@@ -134,7 +134,7 @@ type File struct {
 	// on a shared file in Figure 4(a).
 	writeOrder vtime.Mutex
 
-	stats Stats
+	stats Stats // guarded by mu
 }
 
 // Name returns the file's name within its Space.

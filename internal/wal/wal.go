@@ -281,9 +281,8 @@ func (l *Log) ForceStats() (forceWrites, gangForces int64) {
 // filled last page) and is rounded up to whole pages, so successive
 // forces never issue unaligned or overlapping-with-padding writes and the
 // cost accounting matches the paper's sequential page-write model.
-// Returns ok=false when there is nothing to force.
-//
-//lint:holds mu
+// Returns ok=false when there is nothing to force. The caller holds l.mu
+// (piolint infers and enforces this contract at every call site).
 func (l *Log) pendingReq() (ssdio.Req, bool) {
 	if len(l.tail) == 0 {
 		return ssdio.Req{}, false
@@ -299,9 +298,8 @@ func (l *Log) pendingReq() (ssdio.Req, bool) {
 }
 
 // commitForce advances the durable state after the device accepted the
-// write previously built by pendingReq.
-//
-//lint:holds mu
+// write previously built by pendingReq; the caller holds l.mu (inferred
+// contract).
 func (l *Log) commitForce(req ssdio.Req) {
 	content := len(l.partial) + len(l.tail)
 	l.durable += int64(len(l.tail))
@@ -348,6 +346,8 @@ func (l *Log) Force(at vtime.Ticks) (vtime.Ticks, error) {
 // files must live on one ssdio.Space (one device). The int result is the
 // number of logs actually forced: 0 means no device submission was
 // issued at all.
+//
+//lint:lockorder-multi wal.Log.mu gang members are acquired in the caller-supplied ascending shard order
 func ForceGroup(at vtime.Ticks, logs []*Log) (vtime.Ticks, int, error) {
 	// Hold every member's mutex across the whole gang so racing appends
 	// land wholly before or after it (callers already serialize gangs that
