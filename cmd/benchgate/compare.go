@@ -1,0 +1,231 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// table mirrors bench.Table's JSON shape (only what the gate needs).
+type table struct {
+	ID      string
+	Metrics map[string]float64
+}
+
+// load flattens a pioexp JSON artifact into "tableID/metric" -> value.
+func load(path string) (map[string]float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tables []table
+	if err := json.Unmarshal(b, &tables); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64)
+	for _, t := range tables {
+		for k, v := range t.Metrics {
+			out[t.ID+"/"+k] = v
+		}
+	}
+	return out, nil
+}
+
+// Rule is one per-metric tolerance override. Keys are matched by
+// substring; the first matching rule wins. Lower flips the direction:
+// most metrics are higher-is-better (throughput), but latency and
+// duration metrics regress UPWARD, and they are noisier, so they
+// typically carry both a looser Frac and Lower.
+type Rule struct {
+	// Substring selects metric keys ("tableID/metric") containing it.
+	Substring string
+	// Frac is the allowed fractional regression (0.5 = 50%).
+	Frac float64
+	// Lower marks the metric lower-is-better.
+	Lower bool
+}
+
+// parseRules parses -tol specs of the form "substring=frac[:lower]".
+func parseRules(specs []string) ([]Rule, error) {
+	rules := make([]Rule, 0, len(specs))
+	for _, spec := range specs {
+		sub, rest, ok := strings.Cut(spec, "=")
+		if !ok || sub == "" {
+			return nil, fmt.Errorf("benchgate: bad tolerance rule %q (want substring=frac[:lower])", spec)
+		}
+		fracStr, dir, hasDir := strings.Cut(rest, ":")
+		frac, err := strconv.ParseFloat(fracStr, 64)
+		if err != nil || frac < 0 {
+			return nil, fmt.Errorf("benchgate: bad tolerance fraction in rule %q", spec)
+		}
+		r := Rule{Substring: sub, Frac: frac}
+		if hasDir {
+			if dir != "lower" {
+				return nil, fmt.Errorf("benchgate: bad direction %q in rule %q (only \"lower\")", dir, spec)
+			}
+			r.Lower = true
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// ruleFor returns the tolerance and direction applying to a metric key.
+func ruleFor(key string, rules []Rule, def float64) (frac float64, lower bool) {
+	for _, r := range rules {
+		if strings.Contains(key, r.Substring) {
+			return r.Frac, r.Lower
+		}
+	}
+	return def, false
+}
+
+// Finding is one metric's comparison outcome.
+type Finding struct {
+	Key    string
+	Status string // OK, REGRESSED, INVALID, SKIP, MISSING, NEW
+	// Base/Cur are the two values (NaN when absent).
+	Base, Cur float64
+	// Change is the fractional change, NaN when undefined.
+	Change float64
+	Note   string
+}
+
+// Report is a whole gate run.
+type Report struct {
+	Findings []Finding
+	// Compared counts metrics present in both files; Failed those that
+	// regressed or were invalid; New/Missing count one-sided metrics.
+	Compared, Failed, New, Missing int
+}
+
+// compare gates current against baseline. A metric regresses when it
+// moves beyond its tolerance in the bad direction (down for throughput,
+// up for lower-is-better metrics). Non-finite current values are
+// failures: a NaN throughput is a broken experiment, not a slow one.
+// One-sided metrics (NEW/MISSING) never fail the gate — they signal a
+// baseline refresh — but they are surfaced as warnings, not silence.
+func compare(base, cur map[string]float64, rules []Rule, def float64) *Report {
+	rep := &Report{}
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b := base[k]
+		c, ok := cur[k]
+		if !ok {
+			rep.Missing++
+			rep.Findings = append(rep.Findings, Finding{
+				Key: k, Status: "MISSING", Base: b, Cur: math.NaN(), Change: math.NaN(),
+				Note: "in baseline only — refresh the baseline?",
+			})
+			continue
+		}
+		rep.Compared++
+		frac, lower := ruleFor(k, rules, def)
+		f := Finding{Key: k, Base: b, Cur: c, Change: math.NaN()}
+		switch {
+		case math.IsNaN(c) || math.IsInf(c, 0) || math.IsNaN(b) || math.IsInf(b, 0):
+			f.Status = "INVALID"
+			f.Note = "non-finite value"
+			rep.Failed++
+		case b == 0:
+			// No meaningful relative change; a zero baseline gates only
+			// on direction (a lower-is-better metric may stay at zero).
+			if lower && c > 0 {
+				f.Status = "REGRESSED"
+				f.Note = fmt.Sprintf("rose from zero baseline (tol %.0f%%, lower better)", frac*100)
+				rep.Failed++
+			} else {
+				f.Status = "SKIP"
+				f.Note = "zero baseline"
+			}
+		case b < 0:
+			f.Status = "SKIP"
+			f.Note = "negative baseline"
+		default:
+			f.Change = c/b - 1
+			bad := c < b*(1-frac)
+			if lower {
+				bad = c > b*(1+frac)
+			}
+			if bad {
+				f.Status = "REGRESSED"
+				dir := "higher"
+				if lower {
+					dir = "lower"
+				}
+				f.Note = fmt.Sprintf("beyond %.0f%% tolerance (%s is better)", frac*100, dir)
+				rep.Failed++
+			} else {
+				f.Status = "OK"
+			}
+		}
+		rep.Findings = append(rep.Findings, f)
+	}
+	newKeys := make([]string, 0)
+	for k := range cur {
+		if _, ok := base[k]; !ok {
+			newKeys = append(newKeys, k)
+		}
+	}
+	sort.Strings(newKeys)
+	for _, k := range newKeys {
+		rep.New++
+		rep.Findings = append(rep.Findings, Finding{
+			Key: k, Status: "NEW", Base: math.NaN(), Cur: cur[k], Change: math.NaN(),
+			Note: "in current only — add to baseline",
+		})
+	}
+	return rep
+}
+
+// fmtVal renders a metric value for the reports ("-" when absent).
+func fmtVal(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'f', 3, 64)
+}
+
+func fmtChange(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", v*100)
+}
+
+// Markdown renders the report as a GitHub-flavored comparison table for
+// $GITHUB_STEP_SUMMARY.
+func (rep *Report) Markdown(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s\n\n", title)
+	fmt.Fprintf(&b, "| Metric | Baseline | Current | Change | Status |\n")
+	fmt.Fprintf(&b, "|---|---:|---:|---:|---|\n")
+	for _, f := range rep.Findings {
+		status := f.Status
+		switch f.Status {
+		case "REGRESSED", "INVALID":
+			status = "❌ " + status
+		case "OK":
+			status = "✅ OK"
+		case "NEW", "MISSING":
+			status = "⚠️ " + status
+		}
+		note := ""
+		if f.Note != "" {
+			note = " — " + f.Note
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s | %s%s |\n",
+			f.Key, fmtVal(f.Base), fmtVal(f.Cur), fmtChange(f.Change), status, note)
+	}
+	fmt.Fprintf(&b, "\n%d compared, %d failed, %d new, %d missing\n",
+		rep.Compared, rep.Failed, rep.New, rep.Missing)
+	return b.String()
+}

@@ -1,16 +1,26 @@
 // Command benchgate enforces the CI bench-trend gate: it compares the
 // metrics of a fresh pioexp JSON artifact against a checked-in baseline
-// and fails when any metric regressed beyond the tolerance.
+// and fails when any metric regressed beyond its tolerance.
 //
-// Metrics are higher-is-better scalars (throughput); simulated time is
+// Metrics default to higher-is-better (throughput); per-metric -tol
+// rules loosen the tolerance or flip the direction for noisier or
+// lower-is-better metrics (latency percentiles). Simulated time is
 // deterministic, so the comparison is machine-independent. Metrics
-// present in only one file are reported but do not fail the gate (they
-// signal a baseline refresh, not a regression).
+// present in only one file warn but do not fail the gate (they signal a
+// baseline refresh, not a regression).
 //
 // Usage:
 //
 //	benchgate -current artifacts/BENCH_rebalance.json \
-//	          -baseline ci/baselines/BENCH_rebalance.json [-tolerance 0.20]
+//	          -baseline ci/baselines/BENCH_rebalance.json \
+//	          [-tolerance 0.20] [-tol p99_us=0.50:lower] [-tol kops=0.25]
+//
+// A -tol rule is "substring=frac[:lower]": it applies to every metric
+// key containing the substring (first match wins); ":lower" marks the
+// metric lower-is-better, so it regresses upward. When the
+// GITHUB_STEP_SUMMARY environment variable points at a writable file
+// (as it does in GitHub Actions), benchgate appends a markdown
+// comparison table to it.
 //
 // To refresh a baseline after an intentional perf change:
 //
@@ -18,46 +28,36 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"path/filepath"
 )
 
-// table mirrors bench.Table's JSON shape (only what the gate needs).
-type table struct {
-	ID      string
-	Metrics map[string]float64
-}
+type multiFlag []string
 
-func load(path string) (map[string]float64, error) {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var tables []table
-	if err := json.Unmarshal(b, &tables); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	out := make(map[string]float64)
-	for _, t := range tables {
-		for k, v := range t.Metrics {
-			out[t.ID+"/"+k] = v
-		}
-	}
-	return out, nil
+func (m *multiFlag) String() string { return fmt.Sprint(*m) }
+func (m *multiFlag) Set(s string) error {
+	*m = append(*m, s)
+	return nil
 }
 
 func main() {
 	var (
 		current   = flag.String("current", "", "fresh pioexp JSON artifact")
 		baseline  = flag.String("baseline", "", "checked-in baseline JSON")
-		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional regression per metric")
+		tolerance = flag.Float64("tolerance", 0.20, "default allowed fractional regression per metric")
+		tolRules  multiFlag
 	)
+	flag.Var(&tolRules, "tol", "per-metric tolerance rule substring=frac[:lower] (repeatable; first match wins)")
 	flag.Parse()
 	if *current == "" || *baseline == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -current and -baseline are required")
+		os.Exit(2)
+	}
+	rules, err := parseRules(tolRules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	cur, err := load(*current)
@@ -70,45 +70,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-	keys := make([]string, 0, len(base))
-	for k := range base {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	failed := 0
-	compared := 0
-	for _, k := range keys {
-		b := base[k]
-		c, ok := cur[k]
-		if !ok {
-			fmt.Printf("MISSING  %-55s baseline=%.3f (refresh the baseline?)\n", k, b)
-			continue
-		}
-		compared++
-		if b <= 0 {
-			fmt.Printf("SKIP     %-55s baseline=%.3f\n", k, b)
-			continue
-		}
-		change := c/b - 1
-		status := "OK      "
-		if c < b*(1-*tolerance) {
-			status = "REGRESSED"
-			failed++
-		}
-		fmt.Printf("%s %-55s baseline=%.3f current=%.3f (%+.1f%%)\n", status, k, b, c, change*100)
-	}
-	for k, c := range cur {
-		if _, ok := base[k]; !ok {
-			fmt.Printf("NEW      %-55s current=%.3f (add to baseline)\n", k, c)
+	rep := compare(base, cur, rules, *tolerance)
+	for _, f := range rep.Findings {
+		switch f.Status {
+		case "NEW", "MISSING":
+			// GitHub Actions renders ::warning:: lines as annotations, so
+			// one-sided metrics are loud without failing the gate.
+			fmt.Printf("::warning title=benchgate %s metric::%s %s\n", f.Status, f.Key, f.Note)
+			fmt.Printf("%-9s %-55s baseline=%s current=%s %s\n", f.Status, f.Key, fmtVal(f.Base), fmtVal(f.Cur), f.Note)
+		default:
+			fmt.Printf("%-9s %-55s baseline=%s current=%s (%s) %s\n",
+				f.Status, f.Key, fmtVal(f.Base), fmtVal(f.Cur), fmtChange(f.Change), f.Note)
 		}
 	}
-	if compared == 0 {
+	if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {
+		title := fmt.Sprintf("benchgate: %s", filepath.Base(*current))
+		if f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644); err == nil {
+			fmt.Fprintln(f, rep.Markdown(title))
+			f.Close()
+		} else {
+			fmt.Fprintln(os.Stderr, "benchgate: cannot append step summary:", err)
+		}
+	}
+	if rep.Compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchgate: no overlapping metrics — wrong files?")
 		os.Exit(2)
 	}
-	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %d metric(s) regressed more than %.0f%%\n", failed, *tolerance*100)
+	if rep.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d metric(s) regressed or invalid\n", rep.Failed)
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d metric(s) within %.0f%% of baseline\n", compared, *tolerance*100)
+	fmt.Printf("benchgate: %d metric(s) within tolerance of baseline\n", rep.Compared)
 }

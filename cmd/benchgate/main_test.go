@@ -1,0 +1,173 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func findingByKey(t *testing.T, rep *Report, key string) Finding {
+	t.Helper()
+	for _, f := range rep.Findings {
+		if f.Key == key {
+			return f
+		}
+	}
+	t.Fatalf("no finding for %s in %+v", key, rep.Findings)
+	return Finding{}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("load accepted a missing file")
+	}
+}
+
+func TestLoadMalformedFile(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(p, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(p); err == nil {
+		t.Fatal("load accepted malformed JSON")
+	}
+}
+
+func TestLoadFlattensKeys(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "ok.json")
+	body := `[{"ID":"t1","Metrics":{"a":1.5}},{"ID":"t2","Metrics":{"a":2.5}}]`
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["t1/a"] != 1.5 || m["t2/a"] != 2.5 {
+		t.Fatalf("flattened wrong: %v", m)
+	}
+}
+
+func TestCompareOKAndRegression(t *testing.T) {
+	base := map[string]float64{"t/fast": 100, "t/slow": 100}
+	cur := map[string]float64{"t/fast": 95, "t/slow": 70}
+	rep := compare(base, cur, nil, 0.20)
+	if f := findingByKey(t, rep, "t/fast"); f.Status != "OK" {
+		t.Fatalf("5%% drop flagged: %+v", f)
+	}
+	if f := findingByKey(t, rep, "t/slow"); f.Status != "REGRESSED" {
+		t.Fatalf("30%% drop not flagged: %+v", f)
+	}
+	if rep.Failed != 1 || rep.Compared != 2 {
+		t.Fatalf("counts wrong: %+v", rep)
+	}
+}
+
+func TestCompareNaNFails(t *testing.T) {
+	base := map[string]float64{"t/m": 10}
+	cur := map[string]float64{"t/m": math.NaN()}
+	rep := compare(base, cur, nil, 0.20)
+	if f := findingByKey(t, rep, "t/m"); f.Status != "INVALID" {
+		t.Fatalf("NaN current not INVALID: %+v", f)
+	}
+	if rep.Failed != 1 {
+		t.Fatalf("NaN did not fail the gate: %+v", rep)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	base := map[string]float64{"t/zero": 0, "t/stall_count": 0}
+	cur := map[string]float64{"t/zero": 5, "t/stall_count": 3}
+	rules, err := parseRules([]string{"stall=0.0:lower"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := compare(base, cur, rules, 0.20)
+	// Higher-is-better from a zero baseline cannot regress: skip.
+	if f := findingByKey(t, rep, "t/zero"); f.Status != "SKIP" {
+		t.Fatalf("zero baseline not skipped: %+v", f)
+	}
+	// Lower-is-better rising from zero is a regression.
+	if f := findingByKey(t, rep, "t/stall_count"); f.Status != "REGRESSED" {
+		t.Fatalf("lower-better rise from zero not flagged: %+v", f)
+	}
+}
+
+// TestCompareExtraBaselineMetrics checks that metrics present only in the
+// baseline warn (MISSING) without failing the gate, and metrics present
+// only in the candidate warn (NEW) instead of silently passing.
+func TestCompareExtraBaselineMetrics(t *testing.T) {
+	base := map[string]float64{"t/kept": 10, "t/removed": 10}
+	cur := map[string]float64{"t/kept": 10, "t/added": 3}
+	rep := compare(base, cur, nil, 0.20)
+	if f := findingByKey(t, rep, "t/removed"); f.Status != "MISSING" {
+		t.Fatalf("baseline-only metric: %+v", f)
+	}
+	if f := findingByKey(t, rep, "t/added"); f.Status != "NEW" {
+		t.Fatalf("candidate-only metric: %+v", f)
+	}
+	if rep.Failed != 0 || rep.New != 1 || rep.Missing != 1 || rep.Compared != 1 {
+		t.Fatalf("counts wrong: %+v", rep)
+	}
+}
+
+func TestToleranceRules(t *testing.T) {
+	rules, err := parseRules([]string{"p99_us=0.50:lower", "kops=0.10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := map[string]float64{
+		"t/a_p99_us": 100, // lower better, 50% headroom
+		"t/b_kops":   100, // higher better, tight 10%
+		"t/other":    100, // default 20%
+	}
+	cur := map[string]float64{
+		"t/a_p99_us": 140, // +40% latency: within the 50% rule
+		"t/b_kops":   85,  // -15%: beyond the 10% rule
+		"t/other":    85,  // -15%: within the 20% default
+	}
+	rep := compare(base, cur, rules, 0.20)
+	if f := findingByKey(t, rep, "t/a_p99_us"); f.Status != "OK" {
+		t.Fatalf("latency within loose lower-better rule flagged: %+v", f)
+	}
+	if f := findingByKey(t, rep, "t/b_kops"); f.Status != "REGRESSED" {
+		t.Fatalf("throughput beyond tight rule not flagged: %+v", f)
+	}
+	if f := findingByKey(t, rep, "t/other"); f.Status != "OK" {
+		t.Fatalf("default tolerance not applied: %+v", f)
+	}
+	// Direction flip: latency shooting past its tolerance fails.
+	cur["t/a_p99_us"] = 200
+	rep = compare(base, cur, rules, 0.20)
+	if f := findingByKey(t, rep, "t/a_p99_us"); f.Status != "REGRESSED" {
+		t.Fatalf("latency doubling not flagged: %+v", f)
+	}
+	// A latency IMPROVEMENT (large drop) must not be flagged.
+	cur["t/a_p99_us"] = 10
+	rep = compare(base, cur, rules, 0.20)
+	if f := findingByKey(t, rep, "t/a_p99_us"); f.Status != "OK" {
+		t.Fatalf("latency improvement flagged: %+v", f)
+	}
+}
+
+func TestParseRulesRejectsBadSpecs(t *testing.T) {
+	for _, bad := range []string{"nofrac", "=0.2", "x=abc", "x=-0.1", "x=0.2:upper"} {
+		if _, err := parseRules([]string{bad}); err == nil {
+			t.Errorf("parseRules accepted %q", bad)
+		}
+	}
+}
+
+func TestMarkdownSummary(t *testing.T) {
+	base := map[string]float64{"t/good": 100, "t/bad": 100}
+	cur := map[string]float64{"t/good": 100, "t/bad": 10, "t/new": 1}
+	rep := compare(base, cur, nil, 0.20)
+	md := rep.Markdown("benchgate: BENCH_t.json")
+	for _, want := range []string{"| Metric |", "`t/bad`", "❌ REGRESSED", "⚠️ NEW", "1 failed"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

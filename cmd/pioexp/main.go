@@ -11,7 +11,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -91,12 +90,14 @@ func main() {
 }
 
 // writeJSON dumps an experiment's tables (rows, notes, and the metrics
-// the CI bench-trend gate compares) as BENCH_<id>.json.
+// the CI bench-trend gate compares) as BENCH_<id>.json. The byte-stable
+// marshaling means two runs of a deterministic experiment produce
+// byte-identical files, which CI verifies with a plain cmp.
 func writeJSON(dir, id string, tables []bench.Table) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	b, err := json.MarshalIndent(tables, "", "  ")
+	b, err := bench.MarshalStable(tables)
 	if err != nil {
 		return err
 	}

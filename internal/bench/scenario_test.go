@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestScenarioExperimentsRegistered checks every named scenario shows up
+// in the registry under the scenario_ prefix.
+func TestScenarioExperimentsRegistered(t *testing.T) {
+	ids := IDs()
+	for _, sc := range scenario.All() {
+		want := "scenario_" + sc.Name
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("experiment %s not registered (have %v)", want, ids)
+		}
+	}
+}
+
+func TestScenarioBenchQuick(t *testing.T) {
+	tables, err := Run("scenario_burstcrash", QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	tb := tables[0]
+	if tb.ID != "scenario_burstcrash" || len(tb.Rows) != 4 {
+		t.Fatalf("table malformed: id=%s rows=%d", tb.ID, len(tb.Rows))
+	}
+	for _, m := range []string{"cold_kops_per_s", "burst_p99_us", "restart_kops_per_s", "total_migrated_keys", "final_keys"} {
+		if _, ok := tb.Metrics[m]; !ok {
+			t.Errorf("metric %s missing (have %v)", m, tb.Metrics)
+		}
+	}
+	// The scenario tables must survive the stable marshaling twice with
+	// identical bytes — this is what the CI determinism gate relies on.
+	a, err := MarshalStable(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Run("scenario_burstcrash", QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalStable(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("scenario_burstcrash BENCH JSON not byte-stable across runs")
+	}
+	if !strings.Contains(strings.Join(tb.Notes, "\n"), "durability check") {
+		t.Errorf("notes missing durability check: %v", tb.Notes)
+	}
+}

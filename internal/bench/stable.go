@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// stableTable mirrors Table with Metrics pre-rendered, so the enclosing
+// MarshalIndent cannot reorder or reformat them.
+type stableTable struct {
+	ID      string
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Notes   []string
+	Metrics json.RawMessage `json:",omitempty"`
+}
+
+// MarshalStable renders tables as indented JSON with a byte-stable
+// layout: struct keys in declaration order, metric keys sorted, floats
+// in shortest round-trip decimal form. Two marshals of equal tables are
+// byte-identical, so CI can diff BENCH_*.json files directly. A
+// non-finite metric (NaN, ±Inf) is an error, not a silently-broken
+// file.
+func MarshalStable(tables []Table) ([]byte, error) {
+	out := make([]stableTable, len(tables))
+	for i, t := range tables {
+		var mraw json.RawMessage
+		if len(t.Metrics) > 0 {
+			keys := make([]string, 0, len(t.Metrics))
+			for k := range t.Metrics {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			var mb bytes.Buffer
+			mb.WriteByte('{')
+			for j, k := range keys {
+				v := t.Metrics[k]
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, fmt.Errorf("bench: table %s metric %s is %v, not representable in JSON", t.ID, k, v)
+				}
+				if j > 0 {
+					mb.WriteByte(',')
+				}
+				kb, err := json.Marshal(k)
+				if err != nil {
+					return nil, err
+				}
+				mb.Write(kb)
+				mb.WriteByte(':')
+				mb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			}
+			mb.WriteByte('}')
+			mraw = mb.Bytes()
+		}
+		out[i] = stableTable{
+			ID:      t.ID,
+			Title:   t.Title,
+			Header:  t.Header,
+			Rows:    t.Rows,
+			Notes:   t.Notes,
+			Metrics: mraw,
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

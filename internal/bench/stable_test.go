@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleTables() []Table {
+	return []Table{
+		{
+			ID:     "t1",
+			Title:  "first",
+			Header: []string{"a", "b"},
+			Rows:   [][]string{{"1", "2"}},
+			Notes:  []string{"note"},
+			Metrics: map[string]float64{
+				"zeta_kops": 12.5,
+				"alpha_us":  3.25,
+				"mid":       1e6,
+			},
+		},
+		{ID: "t2", Title: "no metrics"},
+	}
+}
+
+func TestMarshalStableDeterministic(t *testing.T) {
+	a, err := MarshalStable(sampleTables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalStable(sampleTables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two marshals differ:\n%s\n---\n%s", a, b)
+	}
+	// Metric keys must appear sorted in the byte stream.
+	s := string(a)
+	if strings.Index(s, "alpha_us") > strings.Index(s, "mid") ||
+		strings.Index(s, "mid") > strings.Index(s, "zeta_kops") {
+		t.Fatalf("metric keys not sorted:\n%s", s)
+	}
+}
+
+func TestMarshalStableRoundTrips(t *testing.T) {
+	b, err := MarshalStable(sampleTables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Table
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("stable output does not parse back: %v\n%s", err, b)
+	}
+	if len(got) != 2 || got[0].ID != "t1" || got[0].Metrics["zeta_kops"] != 12.5 ||
+		got[0].Metrics["mid"] != 1e6 || got[1].Metrics != nil {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+}
+
+func TestMarshalStableRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		ts := sampleTables()
+		ts[0].Metrics["bad"] = bad
+		if _, err := MarshalStable(ts); err == nil {
+			t.Fatalf("MarshalStable accepted metric value %v", bad)
+		} else if !strings.Contains(err.Error(), "bad") {
+			t.Fatalf("error does not name the metric: %v", err)
+		}
+	}
+}

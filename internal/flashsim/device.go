@@ -66,7 +66,51 @@ type Device struct {
 	nq  int           // ring cursor
 
 	wear  [][]int64 // [channel][package] program counts (wear accounting)
+	aging Aging
 	stats Stats
+}
+
+// Aging models the write-path degradation of a worn or nearly-full drive:
+// programs slow down (worn cells need more ISPP pulses and stronger ECC)
+// and the firmware's garbage collector periodically steals a package to
+// relocate a victim block, stalling foreground programs behind it. The
+// zero value is a fresh drive.
+type Aging struct {
+	// ProgramFactor scales CellProgramLatency; values <= 1 leave the
+	// program time unchanged.
+	ProgramFactor float64
+	// GCEvery, when positive, triggers a garbage-collection stall on a
+	// package after every GCEvery page programs on that package.
+	GCEvery int64
+	// GCStall is the duration the victim package is busy relocating data
+	// per triggered collection.
+	GCStall vtime.Ticks
+}
+
+// SetAging installs an aging profile on the live device; subsequent
+// writes pay the configured degradation. Scenario harnesses use it to
+// age a device mid-run without disturbing its reservation timelines.
+func (d *Device) SetAging(a Aging) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.aging = a
+}
+
+// Aging returns the device's current aging profile.
+func (d *Device) Aging() Aging {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.aging
+}
+
+// programLatency is the effective page-program time under the current
+// aging profile. Caller holds d.mu.
+func (d *Device) programLatency() vtime.Ticks {
+	lat := d.cfg.CellProgramLatency
+	if d.aging.ProgramFactor > 1 {
+		lat = vtime.Ticks(float64(lat) * d.aging.ProgramFactor)
+	}
+	return lat
 }
 
 // NewDevice builds a device from cfg; it panics only on programmer error
@@ -154,9 +198,16 @@ func (d *Device) servePage(at vtime.Ticks, op Op, fpn int64, n int) vtime.Ticks 
 		chStart := vtime.Max(hostDone, vtime.Max(d.channels[ch], d.packages[ch][pkg]))
 		chDone := chStart + chCost
 		d.channels[ch] = chDone
-		progDone := chDone + d.cfg.CellProgramLatency
-		d.packages[ch][pkg] = progDone
+		progDone := chDone + d.programLatency()
 		d.wear[ch][pkg]++
+		// GC pressure: after every GCEvery programs the package stalls to
+		// relocate a victim block before the next request can use it.
+		if d.aging.GCEvery > 0 && d.wear[ch][pkg]%d.aging.GCEvery == 0 {
+			progDone += d.aging.GCStall
+			d.stats.GCStalls++
+			d.stats.GCStallTime += d.aging.GCStall
+		}
+		d.packages[ch][pkg] = progDone
 		d.stats.PagesProgrammed++
 		return progDone
 	default:
@@ -306,6 +357,10 @@ type Stats struct {
 	DirSwitches     int64
 	Batches         int64
 	MaxBatch        int
+	// GCStalls counts aging-triggered garbage collections; GCStallTime is
+	// the package-busy time they added (see Aging).
+	GCStalls    int64
+	GCStallTime vtime.Ticks
 }
 
 // TotalOps returns the number of completed requests.

@@ -338,3 +338,55 @@ func TestWearHotspot(t *testing.T) {
 		t.Fatalf("hotspot not visible: min=%d max=%d", min, max)
 	}
 }
+
+func TestAgingSlowsWrites(t *testing.T) {
+	fresh := MustDevice(P300())
+	aged := MustDevice(P300())
+	aged.SetAging(Aging{ProgramFactor: 3.0})
+	req := Request{Op: Write, Offset: 0, Size: aged.cfg.FlashPageSize}
+	f := fresh.SubmitOne(0, req)
+	a := aged.SubmitOne(0, req)
+	wantExtra := vtime.Ticks(float64(aged.cfg.CellProgramLatency)*3.0) - aged.cfg.CellProgramLatency
+	if a.Latency()-f.Latency() != wantExtra {
+		t.Fatalf("aged write latency %v, fresh %v, want delta %v", a.Latency(), f.Latency(), wantExtra)
+	}
+	// Reads are unaffected by program-time aging.
+	req.Op = Read
+	fr := fresh.SubmitOne(f.Done, req)
+	ar := aged.SubmitOne(a.Done, req)
+	if fr.Latency() != ar.Latency() {
+		t.Fatalf("aging changed read latency: fresh %v aged %v", fr.Latency(), ar.Latency())
+	}
+	if got := aged.Aging().ProgramFactor; got != 3.0 {
+		t.Fatalf("Aging() = %v, want 3.0", got)
+	}
+}
+
+func TestAgingGCStalls(t *testing.T) {
+	d := MustDevice(P300())
+	d.SetAging(Aging{GCEvery: 2, GCStall: vtime.Millisecond})
+	now := vtime.Ticks(0)
+	// 8 single-page writes to the same flash page hit one package; every
+	// second program triggers a collection.
+	for i := 0; i < 8; i++ {
+		res := d.SubmitOne(now, Request{Op: Write, Offset: 0, Size: d.cfg.FlashPageSize})
+		now = res.Done
+	}
+	st := d.Stats()
+	if st.GCStalls != 4 {
+		t.Fatalf("GCStalls = %d, want 4", st.GCStalls)
+	}
+	if st.GCStallTime != 4*vtime.Millisecond {
+		t.Fatalf("GCStallTime = %v, want 4ms", st.GCStallTime)
+	}
+	// The stall is visible as added latency on the triggering requests.
+	clean := MustDevice(P300())
+	cnow := vtime.Ticks(0)
+	for i := 0; i < 8; i++ {
+		res := clean.SubmitOne(cnow, Request{Op: Write, Offset: 0, Size: clean.cfg.FlashPageSize})
+		cnow = res.Done
+	}
+	if now-cnow != 4*vtime.Millisecond {
+		t.Fatalf("aged makespan delta = %v, want 4ms", now-cnow)
+	}
+}

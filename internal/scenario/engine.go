@@ -1,0 +1,524 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/flashsim"
+	"repro/internal/kv"
+	"repro/internal/pagefile"
+	"repro/internal/ssdio"
+	"repro/internal/vtime"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// pageSize and cpuPerNode mirror the bench package's experiment setup,
+// so scenario numbers are comparable with the figure regenerations.
+const (
+	pageSize   = 2048
+	cpuPerNode = 2 * vtime.Microsecond
+	bcnt       = 5000
+)
+
+// Config is the engine scale: the knobs that vary per run (CI quick mode
+// vs nightly long mode) while the Scenario shape stays fixed.
+type Config struct {
+	// Device is the simulated SSD profile (default: Iodrive).
+	Device flashsim.Config
+	// InitialEntries is the bulk-loaded forest size.
+	InitialEntries int
+	// OpsPerPhase is the operation budget of each phase.
+	OpsPerPhase int
+	// MemBytes is the global memory budget (OPQ + buffer pool).
+	MemBytes int
+	// Seed fixes all workload generation.
+	Seed int64
+	// Shards/Threads override the scenario's defaults when positive.
+	Shards, Threads int
+}
+
+// DefaultConfig scales like bench.DefaultScale.
+func DefaultConfig() Config {
+	return Config{
+		Device:         flashsim.Iodrive(),
+		InitialEntries: 200_000,
+		OpsPerPhase:    20_000,
+		MemBytes:       16 * 1024,
+		Seed:           42,
+	}
+}
+
+// QuickConfig scales like bench.QuickScale (CI smoke gates).
+func QuickConfig() Config {
+	return Config{
+		Device:         flashsim.Iodrive(),
+		InitialEntries: 20_000,
+		OpsPerPhase:    2_000,
+		MemBytes:       8 * 1024,
+		Seed:           42,
+	}
+}
+
+// PhaseResult is one phase's measured trajectory point.
+type PhaseResult struct {
+	Name string
+	// Ops ran in the phase; Inserts of them were fresh-key inserts.
+	Ops, Inserts int
+	// Start/End bound the phase on the continuous virtual timeline.
+	Start, End vtime.Ticks
+	// KopsPerSec is the phase throughput (ops over makespan).
+	KopsPerSec float64
+	// MeanUS/P95US/P99US summarize per-op latency in microseconds.
+	MeanUS, P95US, P99US float64
+	// Migrations/MigratedKeys are the phase's committed AutoRebalance
+	// moves and the keys they streamed.
+	Migrations, MigratedKeys int64
+	// Retunes counts applied eq.-(10) OPQ-budget changes;
+	// OPQBudgetPages is the global budget in force at phase end.
+	Retunes        int
+	OPQBudgetPages int
+	// Flushes and GangSubmits are the phase's flush-plane activity.
+	Flushes, GangSubmits int64
+	// GCStalls counts aging-triggered garbage collections hit.
+	GCStalls int64
+	// RedoneEntries/RecoverMS report the crash-restart replay (zero for
+	// phases without CrashRestart).
+	RedoneEntries int64
+	RecoverMS     float64
+}
+
+// Result is one scenario run.
+type Result struct {
+	Scenario string
+	Device   string
+	Shards   int
+	Threads  int
+	Phases   []PhaseResult
+	// ExpectedKeys/FinalKeys cross-check durability: bulk-loaded plus
+	// every insert issued must equal the forest's final count.
+	ExpectedKeys, FinalKeys int64
+	// RoutingEpoch/TotalMigrations/TotalMigratedKeys summarize how much
+	// the forest adapted over the run.
+	RoutingEpoch                       uint64
+	TotalMigrations, TotalMigratedKeys int64
+	// TunedL/TunedO are the last eq.-(10) recommendation observed.
+	TunedL, TunedO int
+	// End is the scenario makespan.
+	End vtime.Ticks
+}
+
+// engine is one scenario run's mutable state.
+type engine struct {
+	sc      Scenario
+	cfg     Config
+	shards  int
+	threads int
+
+	dev     *flashsim.Device
+	fr      *core.Forest
+	recs    []kv.Record
+	stripes []*stripeState
+
+	expected int64 // live keys the run has committed to
+
+	// Adaptation state.
+	dparams          *costmodel.DeviceParams
+	leafSegs         int
+	appliedO         int // global OPQ pages currently installed
+	tunedL, tunedO   int
+	insertsSinceTune int64
+	opsSinceTune     int64
+}
+
+// Run executes the scenario at the given scale and returns its measured
+// trajectory. Runs are bit-deterministic: same scenario, same Config,
+// same Result.
+func Run(sc Scenario, cfg Config) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Device.Name == "" {
+		cfg.Device = flashsim.Iodrive()
+	}
+	if cfg.InitialEntries < sc.Stripes*16 {
+		return nil, fmt.Errorf("scenario %s: %d entries too few for %d stripes", sc.Name, cfg.InitialEntries, sc.Stripes)
+	}
+	if cfg.OpsPerPhase < 1 {
+		return nil, fmt.Errorf("scenario %s: OpsPerPhase must be positive, got %d", sc.Name, cfg.OpsPerPhase)
+	}
+	e, err := build(sc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Scenario: sc.Name,
+		Device:   cfg.Device.Name,
+		Shards:   e.shards,
+		Threads:  e.threads,
+	}
+	now := vtime.Ticks(0)
+	for pi, ph := range sc.Phases {
+		pr := PhaseResult{Name: ph.Name, Start: now}
+		if ph.Aging != nil {
+			// Age the live device, then recalibrate the cost model's view
+			// of it so the next retune sees the degraded write path.
+			e.dev.SetAging(*ph.Aging)
+			e.calibrate(*ph.Aging)
+		}
+		if ph.CrashRestart {
+			if now, err = e.crashRestart(now, &pr); err != nil {
+				return nil, fmt.Errorf("scenario %s: phase %s: %w", sc.Name, ph.Name, err)
+			}
+		}
+		ops, inserts := phaseOps(ph, e.stripes, e.recs, cfg.OpsPerPhase, cfg.Seed+int64(pi)*1_000_003)
+		preStats := e.fr.Stats()
+		preDev := e.dev.Stats()
+		preRetunes := pr.Retunes
+		end, lat, retunes, err := e.runPhase(now, ops)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: phase %s: %w", sc.Name, ph.Name, err)
+		}
+		e.expected += int64(inserts)
+		postStats := e.fr.Stats()
+		postDev := e.dev.Stats()
+
+		pr.Ops = len(ops)
+		pr.Inserts = inserts
+		pr.End = end
+		elapsed := end - now
+		if elapsed > 0 {
+			pr.KopsPerSec = float64(len(ops)) / elapsed.Seconds() / 1e3
+		}
+		pr.MeanUS, pr.P95US, pr.P99US = latencySummary(lat)
+		pr.Migrations = postStats.Migrations - preStats.Migrations
+		pr.MigratedKeys = postStats.MigratedKeys - preStats.MigratedKeys
+		pr.Retunes = preRetunes + retunes
+		pr.OPQBudgetPages = e.appliedO
+		pr.Flushes = postStats.Tree.Flushes - preStats.Tree.Flushes
+		pr.GangSubmits = postStats.GangSubmits - preStats.GangSubmits
+		pr.GCStalls = postDev.GCStalls - preDev.GCStalls
+		res.Phases = append(res.Phases, pr)
+		now = end
+	}
+	if err := e.fr.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("scenario %s: forest invalid after run: %w", sc.Name, err)
+	}
+	st := e.fr.Stats()
+	res.ExpectedKeys = e.expected
+	res.FinalKeys = e.fr.Count()
+	if res.FinalKeys != res.ExpectedKeys {
+		return nil, fmt.Errorf("scenario %s: lost keys: forest holds %d, expected %d", sc.Name, res.FinalKeys, res.ExpectedKeys)
+	}
+	res.RoutingEpoch = st.RoutingEpoch
+	res.TotalMigrations = st.Migrations
+	res.TotalMigratedKeys = st.MigratedKeys
+	res.TunedL, res.TunedO = e.tunedL, e.tunedO
+	res.End = now
+	return res, nil
+}
+
+// build bulk-loads a WAL-attached, range-partitioned forest on a fresh
+// simulated device and initializes the adaptation state with an initial
+// eq.-(10) tune for the first phase's traffic mix.
+func build(sc Scenario, cfg Config) (*engine, error) {
+	e := &engine{sc: sc, cfg: cfg, shards: sc.Shards, threads: sc.Threads}
+	if cfg.Shards > 0 {
+		e.shards = cfg.Shards
+	}
+	if e.shards <= 0 {
+		e.shards = 4
+	}
+	if cfg.Threads > 0 {
+		e.threads = cfg.Threads
+	}
+	if e.threads <= 0 {
+		e.threads = 8
+	}
+	n := cfg.InitialEntries
+
+	// Initial tune: calibrate a throwaway device instance (probing the
+	// live one would disturb its reservation timelines), then run the
+	// eq.-(10) arg-min for the first phase's weighted insert ratio.
+	e.calibrate(flashsim.Aging{})
+	ri := phaseInsertRatio(sc.Phases[0])
+	e.leafSegs = 4
+	e.appliedO = 1
+	if res, err := costmodel.TuneForest(e.tuneParams(float64(n), ri), e.dparams, bcnt, 16, e.maxO(), e.shards); err == nil {
+		e.leafSegs = res.PerShard.L
+		e.appliedO = res.GlobalO
+		e.tunedL, e.tunedO = res.PerShard.L, res.GlobalO
+	}
+
+	e.dev = flashsim.MustDevice(cfg.Device)
+	space := ssdio.NewSpace(e.dev)
+	pfs := make([]*pagefile.PageFile, e.shards)
+	logs := make([]*wal.Log, e.shards)
+	perShardBytes := int64(n)*64/int64(e.shards) + 1<<20
+	for i := range pfs {
+		f, err := space.Create(fmt.Sprintf("shard%d", i), perShardBytes)
+		if err != nil {
+			return nil, err
+		}
+		if pfs[i], err = pagefile.New(f, pageSize); err != nil {
+			return nil, err
+		}
+		wf, err := space.Create(fmt.Sprintf("wal%d", i), 16<<20)
+		if err != nil {
+			return nil, err
+		}
+		if logs[i], err = wal.NewLog(wf, pageSize); err != nil {
+			return nil, err
+		}
+	}
+	// Even range bounds over the loaded key domain: tenants address
+	// stripes of it, shards each own an equal slice initially, and the
+	// rebalancer reshapes ownership as the scenario's skew emerges.
+	bounds := make([]kv.Key, e.shards-1)
+	for i := range bounds {
+		bounds[i] = kv.Key((i+1)*n/e.shards) * 16
+	}
+	leaves := n / (core.Config{PageSize: pageSize, LeafSegs: e.leafSegs}).LeafEntryEstimate()
+	bufBytes := cfg.MemBytes - e.appliedO*pageSize - leaves
+	if bufBytes < e.shards*pageSize {
+		bufBytes = e.shards * pageSize
+	}
+	fr, err := core.NewForest(pfs, core.ForestConfig{
+		Partitioner: core.RangePartitioner{Bounds: bounds},
+		Shard: core.Config{
+			PageSize:    pageSize,
+			LeafSegs:    e.leafSegs,
+			OPQPages:    e.appliedO,
+			PioMax:      64,
+			SPeriod:     5000,
+			BCnt:        bcnt,
+			BufferBytes: bufBytes,
+			CPUPerNode:  cpuPerNode,
+		},
+		Logs: logs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.recs = make([]kv.Record, n)
+	for i := range e.recs {
+		e.recs[i] = kv.Record{Key: uint64(i)*16 + 8, Value: uint64(i)}
+	}
+	if err := fr.BulkLoad(e.recs); err != nil {
+		return nil, err
+	}
+	e.fr = fr
+	e.expected = int64(n)
+	e.stripes = make([]*stripeState, sc.Stripes)
+	for i := range e.stripes {
+		e.stripes[i] = &stripeState{
+			lo:        i * n / sc.Stripes,
+			hi:        (i + 1) * n / sc.Stripes,
+			nextFresh: make(map[int]uint64),
+		}
+	}
+	return e, nil
+}
+
+// calibrate measures the cost model's device parameters on a throwaway
+// device instance carrying the given aging profile.
+func (e *engine) calibrate(a flashsim.Aging) {
+	probe := flashsim.MustDevice(e.cfg.Device)
+	probe.SetAging(a)
+	e.dparams = costmodel.Calibrate(probe, pageSize, 16, 64, 8)
+}
+
+func (e *engine) tuneParams(n, insertRatio float64) costmodel.TreeParams {
+	return costmodel.TreeParams{
+		N:                 n,
+		F:                 float64(pageSize / kv.RecordSize),
+		U:                 0.7,
+		Ri:                insertRatio,
+		Rs:                1 - insertRatio,
+		M:                 float64(e.cfg.MemBytes / pageSize),
+		OPQEntriesPerPage: float64(pageSize / kv.EntrySize),
+	}
+}
+
+func (e *engine) maxO() int {
+	maxO := e.cfg.MemBytes/pageSize - 1
+	if maxO < e.shards {
+		maxO = e.shards
+	}
+	return maxO
+}
+
+// phaseInsertRatio is the phase's weighted average insert ratio.
+func phaseInsertRatio(ph Phase) float64 {
+	total, ins := 0.0, 0.0
+	for _, tn := range ph.Tenants {
+		total += tn.Weight
+		ins += tn.Weight * tn.InsertRatio
+	}
+	if total == 0 {
+		return 0
+	}
+	return ins / total
+}
+
+// crashRestart drives the mid-scenario failure: a group Sync makes every
+// buffered operation's redo record durable (the commit point), the crash
+// drops all volatile state, and recovery replays the WALs. Losing any
+// committed key is a hard scenario failure, not a metric.
+func (e *engine) crashRestart(now vtime.Ticks, pr *PhaseResult) (vtime.Ticks, error) {
+	now, err := e.fr.Sync(now)
+	if err != nil {
+		return now, err
+	}
+	e.fr.Crash()
+	rep, recDone, err := e.fr.Recover(now)
+	if err != nil {
+		return recDone, err
+	}
+	pr.RedoneEntries = int64(rep.Total.RedoneEntries)
+	pr.RecoverMS = (recDone - now).Millis()
+	if got := e.fr.Count(); got != e.expected {
+		return recDone, fmt.Errorf("crash-restart lost keys: forest holds %d, expected %d", got, e.expected)
+	}
+	// The crash dropped the volatile OPQ resize; reinstall the budget the
+	// adaptation loop had chosen.
+	if recDone, _, _, err = e.fr.ApplyOPQBudget(recDone, e.appliedO); err != nil {
+		return recDone, err
+	}
+	return recDone, nil
+}
+
+// runPhase replays the phase's ops round-robin over the workload threads
+// plus, when configured, one adaptation thread polling AutoRebalance and
+// the eq.-(10) retuner. Returns the phase end time, the per-op latency
+// samples, and the number of applied retunes.
+func (e *engine) runPhase(base vtime.Ticks, ops []workload.Op) (vtime.Ticks, []vtime.Ticks, int, error) {
+	threads := e.threads
+	active := threads
+	var opErr error
+	lat := make([]vtime.Ticks, 0, len(ops))
+	workers := make([]*vtime.Thread, 0, threads)
+	ths := make([]*vtime.Thread, 0, threads+1)
+	for i := 0; i < threads; i++ {
+		tid := i
+		step := 0
+		ths = append(ths, &vtime.Thread{ID: tid, Step: func(t *vtime.Thread) bool {
+			idx := step*threads + tid
+			step++
+			if idx >= len(ops) || opErr != nil {
+				active--
+				return false
+			}
+			op := ops[idx]
+			start := vtime.Max(t.Clock.Now(), base)
+			var done vtime.Ticks
+			var err error
+			if op.Kind == workload.OpInsert {
+				done, err = e.fr.Insert(start, op.Rec)
+			} else {
+				_, _, done, err = e.fr.Search(start, op.Rec.Key)
+			}
+			if err != nil {
+				opErr = err
+				active--
+				return false
+			}
+			lat = append(lat, done-start)
+			e.opsSinceTune++
+			if op.Kind == workload.OpInsert {
+				e.insertsSinceTune++
+			}
+			t.Clock.AdvanceTo(done)
+			return true
+		}})
+	}
+	workers = append(workers, ths...)
+	retunes := 0
+	if e.sc.Adapt.Interval > 0 {
+		ths = append(ths, &vtime.Thread{ID: threads, Step: func(t *vtime.Thread) bool {
+			if active == 0 || opErr != nil {
+				return false
+			}
+			now := vtime.Max(t.Clock.Now(), base) + e.sc.Adapt.Interval
+			next, n, err := e.adaptTick(now)
+			if err != nil {
+				opErr = err
+				return false
+			}
+			retunes += n
+			t.Clock.AdvanceTo(vtime.Max(now, next))
+			return true
+		}})
+	}
+	s := vtime.NewScheduler(3*vtime.Microsecond, ths...)
+	s.Run()
+	// The phase ends when the WORKERS end: the adaptation thread's clock
+	// parks one idle poll interval past the last op, and counting that
+	// idle tail would understate every phase's throughput.
+	end := base
+	for _, t := range workers {
+		end = vtime.Max(end, t.Clock.Now())
+	}
+	if opErr != nil {
+		return end, nil, retunes, opErr
+	}
+	return end, lat, retunes, nil
+}
+
+// adaptTick is one adaptation poll: let AutoRebalance act on the shard
+// load deltas, then re-run the eq.-(10) tuner on the observed insert
+// ratio and live entry count and apply a changed OPQ budget to the
+// forest. Returns the time the adaptation work finished and the number
+// of applied retunes (0 or 1).
+func (e *engine) adaptTick(now vtime.Ticks) (vtime.Ticks, int, error) {
+	moved, _, _, done, err := e.fr.AutoRebalance(now, e.sc.Adapt.Policy)
+	if err != nil {
+		return done, 0, err
+	}
+	if moved {
+		now = vtime.Max(now, done)
+	}
+	if !e.sc.Adapt.Retune || e.opsSinceTune < 256 {
+		return now, 0, nil
+	}
+	ri := float64(e.insertsSinceTune) / float64(e.opsSinceTune)
+	e.insertsSinceTune, e.opsSinceTune = 0, 0
+	res, err := costmodel.TuneForest(e.tuneParams(float64(e.fr.Count()), ri), e.dparams, bcnt, 16, e.maxO(), e.shards)
+	if err != nil {
+		return now, 0, nil // an unusable sweep just skips this poll
+	}
+	e.tunedL, e.tunedO = res.PerShard.L, res.GlobalO
+	if res.GlobalO == e.appliedO {
+		return now, 0, nil
+	}
+	done, _, _, err = e.fr.ApplyOPQBudget(now, res.GlobalO)
+	if err != nil {
+		return done, 0, err
+	}
+	e.appliedO = res.GlobalO
+	return vtime.Max(now, done), 1, nil
+}
+
+// latencySummary reduces latency samples to mean/p95/p99 microseconds.
+func latencySummary(lat []vtime.Ticks) (mean, p95, p99 float64) {
+	if len(lat) == 0 {
+		return 0, 0, 0
+	}
+	sorted := make([]vtime.Ticks, len(lat))
+	copy(sorted, lat)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum vtime.Ticks
+	for _, l := range sorted {
+		sum += l
+	}
+	pick := func(q float64) float64 {
+		i := int(q*float64(len(sorted))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i].Micros()
+	}
+	return (sum / vtime.Ticks(len(sorted))).Micros(), pick(0.95), pick(0.99)
+}

@@ -1,0 +1,106 @@
+package scenario
+
+import (
+	"math/rand"
+
+	"repro/internal/kv"
+	"repro/internal/workload"
+)
+
+// stripeState carries a key stripe's fresh-insert bookkeeping across
+// phases: record i of the bulk load holds key i*16+8, leaving 15 gap
+// slots per record for fresh inserts. Tenants targeting the same stripe
+// share this state, so inserts never collide within or across phases.
+type stripeState struct {
+	lo, hi    int // global record index range [lo, hi)
+	nextFresh map[int]uint64
+}
+
+// insertOp draws a fresh-key insert in the stripe. When the drawn base
+// record has used all 15 gap slots it probes forward deterministically;
+// a saturated stripe degrades to a point search (the caller inspects
+// op.Kind, so accounting stays exact).
+func (st *stripeState) insertOp(rng *rand.Rand, recs []kv.Record) workload.Op {
+	span := st.hi - st.lo
+	base := st.lo + rng.Intn(span)
+	for try := 0; try < 16; try++ {
+		if st.nextFresh[base] < 15 {
+			off := st.nextFresh[base]
+			if off >= 8 {
+				off++ // skip the loaded-key slot
+			}
+			st.nextFresh[base]++
+			return workload.Op{
+				Kind: workload.OpInsert,
+				Rec:  kv.Record{Key: uint64(base)*16 + off, Value: rng.Uint64()},
+			}
+		}
+		base = st.lo + (base-st.lo+1)%span
+	}
+	return workload.Op{Kind: workload.OpSearch, Rec: recs[base]}
+}
+
+// tenantGen draws one tenant's operations for one phase.
+type tenantGen struct {
+	tenant Tenant
+	st     *stripeState
+	rng    *rand.Rand
+	zipf   *rand.Zipf
+	recs   []kv.Record
+}
+
+func newTenantGen(tn Tenant, st *stripeState, recs []kv.Record, seed int64) *tenantGen {
+	g := &tenantGen{tenant: tn, st: st, recs: recs, rng: rand.New(rand.NewSource(seed))}
+	if tn.ZipfS > 1 && st.hi-st.lo > 1 {
+		g.zipf = rand.NewZipf(g.rng, tn.ZipfS, 1, uint64(st.hi-st.lo-1))
+	}
+	return g
+}
+
+func (g *tenantGen) next() workload.Op {
+	if g.rng.Float64() < g.tenant.InsertRatio {
+		return g.st.insertOp(g.rng, g.recs)
+	}
+	idx := g.st.lo
+	if g.zipf != nil {
+		idx += int(g.zipf.Uint64())
+	} else {
+		idx += g.rng.Intn(g.st.hi - g.st.lo)
+	}
+	return workload.Op{Kind: workload.OpSearch, Rec: g.recs[idx]}
+}
+
+// phaseOps pre-generates a phase's interleaved operation stream: each op
+// is drawn from a tenant picked by weighted choice, so the mix shifts
+// exactly with the phase's tenant weights. Returns the ops and the
+// number of inserts among them (for the engine's expected-count and
+// observed-insert-ratio tracking).
+func phaseOps(ph Phase, stripes []*stripeState, recs []kv.Record, n int, seed int64) ([]workload.Op, int) {
+	gens := make([]*tenantGen, len(ph.Tenants))
+	cum := make([]float64, len(ph.Tenants))
+	total := 0.0
+	for i, tn := range ph.Tenants {
+		gens[i] = newTenantGen(tn, stripes[tn.Stripe], recs, seed+int64(i)*7919)
+		total += tn.Weight
+		cum[i] = total
+	}
+	pick := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+	ops := make([]workload.Op, 0, n)
+	inserts := 0
+	for i := 0; i < n; i++ {
+		x := pick.Float64() * total
+		ti := len(gens) - 1
+		for j, c := range cum {
+			if x < c {
+				ti = j
+				break
+			}
+		}
+		op := gens[ti].next()
+		if op.Kind == workload.OpInsert {
+			inserts++
+		}
+		ops = append(ops, op)
+	}
+	return ops, inserts
+}
