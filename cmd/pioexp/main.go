@@ -33,6 +33,7 @@ func main() {
 		jsonDir = flag.String("json", "", "also write each experiment's tables as BENCH_<id>.json into this directory (CI bench artifacts)")
 		shards  = flag.Int("shards", 0, "forest shard count (default: sweep a preset ladder)")
 		threads = flag.Int("threads", 0, "simulated threads for concurrency experiments (default: preset)")
+		faults  = flag.String("faults", "", "fault program for experiments that support injection, e.g. 'transient call=psync p=0.002'")
 	)
 	flag.Parse()
 
@@ -62,6 +63,7 @@ func main() {
 	if *threads > 0 {
 		s.Threads = *threads
 	}
+	s.Faults = *faults
 
 	ids := []string{*exp}
 	if *exp == "all" {

@@ -99,6 +99,10 @@ type Scale struct {
 	// Threads fixes the simulated thread count for concurrency
 	// experiments that accept it; 0 uses each experiment's preset.
 	Threads int
+	// Faults, when non-empty, is a faultio fault program installed on
+	// the I/O plane of experiments that support injection (the scenario
+	// suite), overriding any program the scenario itself declares.
+	Faults string
 }
 
 // DefaultScale keeps the paper's N/M ratio (1e9·16B data : 16MB buffer ≈

@@ -19,6 +19,7 @@ func ScenarioBench(sc scenario.Scenario, s Scale) ([]Table, error) {
 		Seed:           s.Seed,
 		Shards:         s.Shards,
 		Threads:        s.Threads,
+		FaultProgram:   s.Faults,
 	}
 	if cfg.OpsPerPhase < 1 {
 		cfg.OpsPerPhase = 1
@@ -31,7 +32,7 @@ func ScenarioBench(sc scenario.Scenario, s Scale) ([]Table, error) {
 		ID:    "scenario_" + sc.Name,
 		Title: sc.Title,
 		Header: []string{"phase", "ops", "inserts", "kops/s", "mean(us)", "p95(us)", "p99(us)",
-			"migrations", "moved keys", "retunes", "opq pages", "gc stalls", "redone", "recover(ms)"},
+			"migrations", "moved keys", "retunes", "opq pages", "gc stalls", "io retries", "redone", "recover(ms)"},
 		Metrics: map[string]float64{},
 	}
 	for _, pr := range res.Phases {
@@ -47,6 +48,7 @@ func ScenarioBench(sc scenario.Scenario, s Scale) ([]Table, error) {
 			fmt.Sprintf("%d", pr.Retunes),
 			fmt.Sprintf("%d", pr.OPQBudgetPages),
 			fmt.Sprintf("%d", pr.GCStalls),
+			fmt.Sprintf("%d", pr.IORetries),
 			fmt.Sprintf("%d", pr.RedoneEntries),
 			fmt.Sprintf("%.2f", pr.RecoverMS),
 		)
@@ -55,6 +57,12 @@ func ScenarioBench(sc scenario.Scenario, s Scale) ([]Table, error) {
 	}
 	t.Metrics["total_migrated_keys"] = float64(res.TotalMigratedKeys)
 	t.Metrics["final_keys"] = float64(res.FinalKeys)
+	t.Metrics["io_retries"] = float64(res.IORetries)
+	if res.FaultProgram != "" {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("fault program: %q; %d transient retries absorbed (%d budgets exhausted)",
+				res.FaultProgram, res.IORetries, res.IORetriesExhausted))
+	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d shards, %d threads, %d entries loaded, %d ops/phase",
 			res.Shards, res.Threads, cfg.InitialEntries, cfg.OpsPerPhase),

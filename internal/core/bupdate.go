@@ -19,14 +19,21 @@ func (t *Tree) psyncReadPages(at vtime.Ticks, ids []pagefile.PageID, bufs [][]by
 	if t.cfg.DisablePsync {
 		var err error
 		for i, id := range ids {
-			at, err = t.pf.ReadPage(at, id, bufs[i])
+			id, buf := id, bufs[i]
+			at, err = t.retryIO(at, func(at vtime.Ticks) (vtime.Ticks, error) {
+				return t.pf.ReadPage(at, id, buf)
+			})
 			if err != nil {
 				return at, err
 			}
 		}
 		return at, nil
 	}
-	return t.pf.PsyncRead(at, ids, bufs)
+	// Reads are idempotent and a failed submission fills no buffers, so
+	// resubmitting the whole batch is safe.
+	return t.retryIO(at, func(at vtime.Ticks) (vtime.Ticks, error) {
+		return t.pf.PsyncRead(at, ids, bufs)
+	})
 }
 
 // psyncWritePages writes the given pages in one psync call (or serially
@@ -48,14 +55,21 @@ func (t *Tree) psyncWritePages(at vtime.Ticks, ids []pagefile.PageID, bufs [][]b
 	if t.cfg.DisablePsync {
 		var err error
 		for i, id := range ids {
-			at, err = t.pf.WritePage(at, id, bufs[i])
+			id, buf := id, bufs[i]
+			at, err = t.retryIO(at, func(at vtime.Ticks) (vtime.Ticks, error) {
+				return t.pf.WritePage(at, id, buf)
+			})
 			if err != nil {
 				return at, err
 			}
 		}
 		return at, nil
 	}
-	return t.pf.PsyncWrite(at, ids, bufs)
+	// A failed submission applied nothing, so the resubmission writes the
+	// same pages from the same buffers — idempotent by construction.
+	return t.retryIO(at, func(at vtime.Ticks) (vtime.Ticks, error) {
+		return t.pf.PsyncWrite(at, ids, bufs)
+	})
 }
 
 // readInternalBatch fetches a set of internal nodes: buffered nodes come
@@ -69,7 +83,7 @@ func (t *Tree) readInternalBatch(at vtime.Ticks, ids []pagefile.PageID) (map[pag
 			continue
 		}
 		if t.pool.Contains(id) {
-			data, at2, err := t.pool.Get(at, id)
+			data, at2, err := t.poolGet(at, id)
 			if err != nil {
 				return nil, at2, err
 			}
@@ -129,7 +143,7 @@ func (t *Tree) readLeafBatch(at vtime.Ticks, ids []pagefile.PageID) (map[pagefil
 		var missBufs [][]byte
 		for _, id := range uniq {
 			if t.pool.Contains(id) {
-				data, at2, err := t.pool.Get(at, id)
+				data, at2, err := t.poolGet(at, id)
 				if err != nil {
 					return nil, at2, err
 				}
@@ -211,7 +225,10 @@ func (t *Tree) psyncReadRuns(at vtime.Ticks, ids []pagefile.PageID, upto []int, 
 	var err error
 	if t.cfg.DisablePsync {
 		for j, id := range ids {
-			at, err = t.pf.ReadRun(at, id, upto[j]+1, bufs[j])
+			j, id := j, id
+			at, err = t.retryIO(at, func(at vtime.Ticks) (vtime.Ticks, error) {
+				return t.pf.ReadRun(at, id, upto[j]+1, bufs[j])
+			})
 			if err != nil {
 				return at, err
 			}
@@ -225,7 +242,9 @@ func (t *Tree) psyncReadRuns(at vtime.Ticks, ids []pagefile.PageID, upto []int, 
 	for j, id := range ids {
 		reqs[j] = pagefile.RunReq{First: id, N: upto[j] + 1, Buf: bufs[j], Write: false}
 	}
-	return t.pf.PsyncRuns(at, reqs)
+	return t.retryIO(at, func(at vtime.Ticks) (vtime.Ticks, error) {
+		return t.pf.PsyncRuns(at, reqs)
+	})
 }
 
 // psyncWriteRuns is the write counterpart of psyncReadRuns. Forest group
@@ -243,14 +262,19 @@ func (t *Tree) psyncWriteRuns(at vtime.Ticks, reqs []pagefile.RunReq) (vtime.Tic
 	var err error
 	if t.cfg.DisablePsync {
 		for _, r := range reqs {
-			at, err = t.pf.WriteRun(at, r.First, r.N, r.Buf)
+			r := r
+			at, err = t.retryIO(at, func(at vtime.Ticks) (vtime.Ticks, error) {
+				return t.pf.WriteRun(at, r.First, r.N, r.Buf)
+			})
 			if err != nil {
 				return at, err
 			}
 		}
 		return at, nil
 	}
-	return t.pf.PsyncRuns(at, reqs)
+	return t.retryIO(at, func(at vtime.Ticks) (vtime.Ticks, error) {
+		return t.pf.PsyncRuns(at, reqs)
+	})
 }
 
 // SearchMany is the paper's MPSearch (Algorithm 1): it resolves a set of
@@ -476,11 +500,19 @@ func (t *Tree) FlushBatch(at vtime.Ticks, bcnt int) (vtime.Ticks, error) {
 			t.walGang.deferEnd(t.log, end)
 		} else {
 			t.log.Append(end)
-			at, err = t.log.Force(at)
+			// A retried force resubmits the whole unforced tail, so the
+			// FlushEnd still reaches the device after the data writes.
+			at, err = t.retryIO(at, t.log.Force)
 			if err != nil {
 				return at, err
 			}
 		}
+	}
+	if t.walGang == nil {
+		// Inline commit: the FlushEnd is durable, so this is a commit
+		// point for the quarantine rollback baseline. Group commits reach
+		// theirs when the coordinator's phase-2 force lands.
+		t.commitDurableMeta()
 	}
 	return at, nil
 }

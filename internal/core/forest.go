@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -107,14 +108,32 @@ func (g *writeGang) add(pf *pagefile.PageFile, runs []pagefile.RunReq) error {
 	return nil
 }
 
-// submit issues every collected write as one cross-file psync call and
-// returns its completion time.
-func (g *writeGang) submit(at vtime.Ticks) (vtime.Ticks, error) {
-	if len(g.order) == 0 {
+// drop removes a member's deferred writes (its flush failed and the shard
+// is rolling back — its pages must not reach the device).
+func (g *writeGang) drop(pf *pagefile.PageFile) {
+	if _, ok := g.reqs[pf]; !ok {
+		return
+	}
+	delete(g.reqs, pf)
+	order := g.order[:0]
+	for _, p := range g.order {
+		if p != pf {
+			order = append(order, p)
+		}
+	}
+	g.order = order
+}
+
+// submitSubset issues the selected batches (indexes into g.order) as one
+// cross-file psync call. The fault-retry loop uses it to resubmit only
+// the batches a partial gang failure left unapplied.
+func (g *writeGang) submitSubset(at vtime.Ticks, idxs []int) (vtime.Ticks, error) {
+	if len(idxs) == 0 {
 		return at, nil
 	}
-	batches := make([]ssdio.GangBatch, len(g.order))
-	for i, pf := range g.order {
+	batches := make([]ssdio.GangBatch, len(idxs))
+	for i, j := range idxs {
+		pf := g.order[j]
 		batches[i] = ssdio.GangBatch{F: pf.File(), Reqs: g.reqs[pf]}
 	}
 	return ssdio.PsyncGang(at, batches)
@@ -208,6 +227,19 @@ type forestShard struct {
 	// ops counts the operations routed to this shard (guarded by mu); the
 	// per-shard load signal AutoRebalance splits hotspots on.
 	ops int64
+
+	// quarantined (guarded by mu) puts the shard in read-only degraded
+	// mode after retry exhaustion or a permanent I/O failure: its tree has
+	// been rolled back to the last committed state, reads keep being
+	// served, writes fail with ErrShardQuarantined, and the shard is
+	// excluded from group flushes, checkpoint drains and rebalancing until
+	// Forest.Heal (or a full Recover) re-admits it. qErr records the
+	// fault that triggered it. qDirty marks a quarantined shard whose
+	// rollback replay itself failed (device still erroring): its in-memory
+	// state is mid-replay, so reads are rejected too until Heal succeeds.
+	quarantined bool
+	qDirty      bool
+	qErr        error
 }
 
 // ripe reports whether the shard's OPQ is filled to the given fraction.
@@ -254,6 +286,10 @@ type Forest struct {
 	// lastOps is the per-shard op count at the previous AutoRebalance
 	// poll (guarded by autoMu).
 	lastOps []int64
+	// autoMig is an AutoRebalance migration still in flight after a
+	// bounded drain ran out of budget; later polls resume it (guarded by
+	// autoMu).
+	autoMig *Migration
 
 	// logs are the distinct attached WALs (empty without logging);
 	// logGangEnabled selects ganged vs serial group-commit forces;
@@ -268,6 +304,14 @@ type Forest struct {
 	groupedShards  atomic.Int64
 	gangSubmits    atomic.Int64
 	logGangSubmits atomic.Int64
+
+	// retry bounds the coordinator-level retry loops (data gang, ganged
+	// log forces); the per-shard trees carry their own copy in cfg. The
+	// atomic counters mirror retryStats for the coordinator's submissions.
+	retry              RetryPolicy
+	ioRetries          atomic.Int64
+	ioRetryBackoff     atomic.Int64
+	ioRetriesExhausted atomic.Int64
 
 	// damaged, once set, fails every mutating operation: a group commit
 	// failed after members already updated their in-memory state, so
@@ -290,6 +334,63 @@ func (f *Forest) checkDamaged() error {
 		return fmt.Errorf("core: forest damaged by failed group commit (%w); Crash and Recover to restore consistency", *p)
 	}
 	return nil
+}
+
+// retryIO is retryTimedIO with the coordinator's policy and counters.
+func (f *Forest) retryIO(at vtime.Ticks, op func(vtime.Ticks) (vtime.Ticks, error)) (vtime.Ticks, error) {
+	var rs retryStats
+	done, err := retryTimedIO(f.retry, &rs, at, op)
+	f.ioRetries.Add(rs.IORetries)
+	f.ioRetryBackoff.Add(int64(rs.IORetryBackoff))
+	f.ioRetriesExhausted.Add(rs.IORetriesExhausted)
+	return done, err
+}
+
+// shardQuarantinedErr wraps ErrShardQuarantined with the shard index and
+// the fault that triggered the quarantine.
+func shardQuarantinedErr(si int, cause error) error {
+	if cause != nil {
+		return fmt.Errorf("core: shard %d: %w (cause: %v)", si, ErrShardQuarantined, cause)
+	}
+	return fmt.Errorf("core: shard %d: %w", si, ErrShardQuarantined)
+}
+
+// quarantineShard moves a shard into read-only degraded mode after an
+// attributable I/O failure: roll the tree back to its last committed
+// state (restore the durable snapshot, drop volatile state, replay the
+// durable log — a shard-local crash recovery) and mark it quarantined.
+// A shard without a WAL cannot roll back, and a rollback that itself
+// fails leaves memory and disk divorced — both escalate to the
+// forest-wide damaged mark. Caller holds s.mu; returns the rollback's
+// completion time.
+func (f *Forest) quarantineShard(at vtime.Ticks, s *forestShard, cause error) vtime.Ticks {
+	//lint:ignore guardedby caller holds s.mu (see contract above)
+	if s.quarantined {
+		return at
+	}
+	if s.tree.log == nil {
+		f.setDamaged(cause)
+		return at
+	}
+	done, err := s.tree.rollbackToDurable(at)
+	if err != nil {
+		if !IsIOFault(err) {
+			// The replay itself is broken (decode/validation): memory and
+			// disk are divorced beyond shard-local containment.
+			f.setDamaged(fmt.Errorf("core: quarantine rollback failed: %w (original fault: %v)", err, cause))
+			return done
+		}
+		// The device is still failing (e.g. a permanently dead file): the
+		// shard goes fully offline — reads rejected too, since its
+		// in-memory state is mid-replay — but the rest of the forest keeps
+		// serving. Heal re-runs the rollback once the device recovers.
+		s.qDirty = true
+		cause = fmt.Errorf("%v (rollback also failed: %v)", cause, err)
+	}
+	//lint:ignore guardedby caller holds s.mu (see contract above)
+	s.quarantined = true
+	s.qErr = cause
+	return done
 }
 
 // ForestStats aggregates shard counters and coordinator activity.
@@ -329,6 +430,14 @@ type ForestStats struct {
 	VLockContended vtime.Ticks
 	// Pending is the total number of OPQ-buffered operations.
 	Pending int
+	// QuarantinedShards counts shards in read-only degraded mode;
+	// IORetries / IORetryBackoff / IORetriesExhausted aggregate the
+	// transient-fault retry activity of the shard trees and the flush
+	// coordinator (gang and log-force resubmissions).
+	QuarantinedShards  int
+	IORetries          int64
+	IORetryBackoff     vtime.Ticks
+	IORetriesExhausted int64
 }
 
 // ShardLoad is one shard's load signal.
@@ -341,6 +450,8 @@ type ShardLoad struct {
 	// OPQPages is the shard's current operation-queue page budget
 	// (changes when ApplyOPQBudget installs a retuned split).
 	OPQPages int
+	// Quarantined reports read-only degraded mode.
+	Quarantined bool
 }
 
 // NewForest builds a forest of len(pfs) shards, one tree per page file.
@@ -398,6 +509,7 @@ func NewForest(pfs []*pagefile.PageFile, cfg ForestConfig) (*Forest, error) {
 		logGangEnabled: !cfg.DisableLogGang,
 		migChunk:       chunk,
 		truncateLogs:   !cfg.DisableLogTruncation,
+		retry:          cfg.Shard.Retry,
 	}
 	seenLogs := make(map[*wal.Log]bool)
 	for i, pf := range pfs {
@@ -530,8 +642,14 @@ func (f *Forest) Search(at vtime.Ticks, k kv.Key) (kv.Value, bool, vtime.Ticks, 
 	if err := f.checkDamaged(); err != nil {
 		return 0, false, at, err
 	}
-	_, s := f.lockOwner(k)
+	si, s := f.lockOwner(k)
 	defer s.mu.Unlock()
+	if s.qDirty {
+		// Quarantined shards still serve reads from their committed state,
+		// but a dirty one (rollback replay failed) has nothing coherent to
+		// serve.
+		return 0, false, at, shardQuarantinedErr(si, s.qErr)
+	}
 	s.ops++
 	start := vtime.Max(at, s.vlock.FreeAt())
 	return s.tree.Search(start, k)
@@ -564,6 +682,11 @@ func (f *Forest) SearchMany(at vtime.Ticks, keys []kv.Key) (map[kv.Key]kv.Value,
 		}
 		s := f.shards[si]
 		s.mu.Lock()
+		if s.qDirty {
+			err := shardQuarantinedErr(si, s.qErr)
+			s.mu.Unlock()
+			return nil, at, err
+		}
 		s.ops += int64(len(ks))
 		start := vtime.Max(at, s.vlock.FreeAt())
 		m, d, err := s.tree.SearchMany(start, ks)
@@ -594,6 +717,11 @@ func (f *Forest) RangeSearch(at vtime.Ticks, lo, hi kv.Key) ([]kv.Record, vtime.
 	for _, si := range f.part.RangeShards(lo, hi) {
 		s := f.shards[si]
 		s.mu.Lock()
+		if s.qDirty {
+			err := shardQuarantinedErr(si, s.qErr)
+			s.mu.Unlock()
+			return nil, at, err
+		}
 		s.ops++
 		start := vtime.Max(at, s.vlock.FreeAt())
 		rs, d, err := s.tree.RangeSearch(start, lo, hi)
@@ -632,6 +760,12 @@ func (f *Forest) update(at vtime.Ticks, e kv.Entry) (vtime.Ticks, error) {
 	for {
 		var si int
 		si, s = f.lockOwner(e.Rec.Key)
+		//lint:ignore guardedby lockOwner returned with s.mu held for this shard
+		if s.quarantined {
+			err := shardQuarantinedErr(si, s.qErr)
+			s.mu.Unlock()
+			return at, err
+		}
 		if !s.tree.opq.Full() {
 			break
 		}
@@ -688,11 +822,15 @@ func (f *Forest) flushGroup(at vtime.Ticks, trigger int) (vtime.Ticks, error) {
 	var group, bystanders []*forestShard
 	for i, s := range f.shards {
 		s.mu.Lock()
+		// Quarantined shards never join a flush: their OPQ holds replayed
+		// (already durable) entries and their device may still be failing.
+		// With a shared log they stay locked as bystanders like everyone
+		// else — their tail appends stopped at quarantine time.
 		keep := false
 		if i == trigger {
-			keep = s.tree.opq.Len() > 0
+			keep = !s.quarantined && s.tree.opq.Len() > 0
 		} else if !migrating(i) && !migrating(trigger) {
-			keep = s.ripe(f.ripeFrac)
+			keep = !s.quarantined && s.ripe(f.ripeFrac)
 		}
 		switch {
 		case keep:
@@ -725,6 +863,15 @@ func (f *Forest) flushGroup(at vtime.Ticks, trigger int) (vtime.Ticks, error) {
 		s := group[0]
 		start := s.vlock.Acquire(at)
 		done, err := s.tree.FlushBatch(start, s.tree.cfg.BCnt)
+		if err != nil && IsIOFault(err) && s.tree.log != nil {
+			// Retries inside the flush are exhausted (or the device failed
+			// permanently): contain the failure to this shard and let the
+			// rest of the forest keep serving.
+			done = f.quarantineShard(done, s, err)
+			if f.damaged.Load() == nil {
+				err = nil
+			}
+		}
 		s.vlock.Release(done)
 		unlock()
 		return done, err
@@ -733,9 +880,15 @@ func (f *Forest) flushGroup(at vtime.Ticks, trigger int) (vtime.Ticks, error) {
 	gang := newWriteGang()
 	lg := newLogGang()
 	front := at
-	var flushErr error
+	var flushErr error // unattributable failure — escalates to damaged
 	acquired := 0
-	for _, s := range group {
+	// quar collects members hit by attributable I/O failures; their
+	// rollback replays run after phase 2, when this round's durable log
+	// is as complete as it will get. flushed marks members whose data
+	// made it through every phase (their durable meta advances).
+	quar := make(map[*forestShard]error)
+	flushed := make([]bool, len(group))
+	for gi, s := range group {
 		start := s.vlock.Acquire(at)
 		acquired++
 		s.tree.gang = gang
@@ -751,13 +904,22 @@ func (f *Forest) flushGroup(at vtime.Ticks, trigger int) (vtime.Ticks, error) {
 		s.tree.gang, s.tree.walGang = nil, nil
 		front = vtime.Max(front, done)
 		if err != nil {
-			// Stop starting new flushes, but still submit the gang below:
-			// members that already flushed have drained their OPQs and
-			// updated their in-memory state, so their deferred writes must
+			// Stop starting new flushes. An I/O failure (read retries
+			// exhausted, permanent device error) quarantines just this
+			// member: its half-prepared deferred writes are dropped and its
+			// tree rolls back below. Its log appends stay in the tail —
+			// FlushStart without FlushEnd, which any replay undoes. Members
+			// that already flushed still commit: their deferred writes must
 			// reach the device.
-			flushErr = err
+			if IsIOFault(err) && s.tree.log != nil {
+				quar[s] = err
+				gang.drop(s.tree.pf)
+			} else {
+				flushErr = err
+			}
 			break
 		}
+		flushed[gi] = true
 	}
 	// Group commit phase 1 (prepare): force every member's FlushStart,
 	// logical redo and flush undo records BEFORE any data write reaches
@@ -769,49 +931,140 @@ func (f *Forest) flushGroup(at vtime.Ticks, trigger int) (vtime.Ticks, error) {
 	if len(lg.order) > 0 {
 		done, err := f.forceLogs(front, lg.order)
 		if err != nil {
-			// Without durable undo records the data writes must not go out.
-			prepared = false
-			if flushErr == nil {
-				flushErr = err
+			if IsIOFault(err) {
+				// Attribute the failure: forceLogs commits every member whose
+				// write landed (partial gangs included), so a log still
+				// holding an unforced tail marks exactly the members whose
+				// prepare records are not durable. Those members' data writes
+				// may not go out — they roll back and quarantine — while
+				// members with durable records carry on: their undo records
+				// cover their deferred writes.
+				anyForced := false
+				for gi, s := range group[:acquired] {
+					if s.tree.log != nil && s.tree.log.Unforced() {
+						if _, ok := quar[s]; !ok {
+							quar[s] = err
+						}
+						gang.drop(s.tree.pf)
+						flushed[gi] = false
+					} else {
+						anyForced = true
+					}
+				}
+				prepared = anyForced
+			} else {
+				// Without durable undo records no data write may go out.
+				prepared = false
+				if flushErr == nil {
+					flushErr = err
+				}
 			}
 		}
 		front = done
 	}
 	done := front
 	if prepared {
-		var err error
-		done, err = gang.submit(front)
-		f.gangSubmits.Add(1)
-		if err != nil {
+		var failed map[*pagefile.PageFile]error
+		var fatal error
+		done, failed, fatal = f.submitGang(front, gang)
+		if fatal != nil {
 			prepared = false
 			if flushErr == nil {
-				flushErr = err
+				flushErr = fatal
 			}
 		}
-	}
-	if (!prepared || flushErr != nil) && acquired > 0 {
-		// Either a member errored mid-flush or its writes never (fully)
-		// reached the device: some member's in-memory state and the disk
-		// no longer agree. Poison the forest until Crash+Recover rebuilds
-		// a consistent state from the durable log.
-		f.setDamaged(flushErr)
+		// Members whose batches never landed (retries exhausted or a
+		// permanent fault) roll back; survivors carry on to phase 2 with
+		// their data on the device.
+		for gi, s := range group[:acquired] {
+			if e, ok := failed[s.tree.pf]; ok {
+				if _, ok2 := quar[s]; !ok2 {
+					quar[s] = e
+				}
+				flushed[gi] = false
+			}
+		}
 	}
 	// Group commit phase 2: only after the data writes reached the device
 	// may FlushEnd records become durable — a FlushEnd without its data
 	// would make recovery skip redo records for pages that were never
-	// written. lg.ends holds only members whose flush completed, so they
-	// are committed even when a later member errored (their data is in
-	// the submitted gang); a crash or error between the phases leaves
+	// written. Quarantined members' deferred ends are withheld for the
+	// same reason: their data was dropped or never landed, so a durable
+	// FlushEnd would lose it. A crash or error between the phases leaves
 	// FlushStart without FlushEnd, which recovery undoes.
 	if prepared && len(lg.ends) > 0 {
+		quarRel := make(map[uint32]bool, len(quar))
+		for s := range quar {
+			quarRel[s.tree.cfg.Relation] = true
+		}
+		appended := false
 		for _, e := range lg.ends {
+			if quarRel[e.rec.Relation] {
+				continue
+			}
 			e.log.Append(e.rec)
+			appended = true
 		}
-		done2, err2 := f.forceLogs(done, lg.order)
-		if err2 != nil && flushErr == nil {
-			flushErr = err2
+		if appended {
+			// Force only the logs survivors still append to: a quarantined
+			// member's log (dead device, withheld end) would burn the whole
+			// retry budget again for records phase 1 already gave up on. A
+			// log shared with a surviving member stays in the force set.
+			liveLogs := make(map[*wal.Log]bool, acquired)
+			for _, s := range group[:acquired] {
+				if _, ok := quar[s]; !ok && s.tree.log != nil {
+					liveLogs[s.tree.log] = true
+				}
+			}
+			live := make([]*wal.Log, 0, len(lg.order))
+			for _, l := range lg.order {
+				if liveLogs[l] {
+					live = append(live, l)
+				}
+			}
+			done2, err2 := f.forceLogs(done, live)
+			if err2 != nil {
+				if IsIOFault(err2) {
+					// A survivor's memory says flushed, but its FlushEnd is
+					// not durable: a replay would undo the flush. Roll back
+					// exactly the members whose end-force did not land to the
+					// state the log actually describes.
+					for gi, s := range group[:acquired] {
+						if flushed[gi] && s.tree.log != nil && s.tree.log.Unforced() {
+							if _, ok := quar[s]; !ok {
+								quar[s] = err2
+							}
+							flushed[gi] = false
+						}
+					}
+				} else if flushErr == nil {
+					flushErr = err2
+				}
+			}
+			done = done2
 		}
-		done = done2
+	}
+	if flushErr != nil {
+		// Unattributable failure: some member's in-memory state and the
+		// disk no longer agree and no shard-local rollback can prove
+		// otherwise. Poison the forest until Crash+Recover rebuilds a
+		// consistent state from the durable log.
+		f.setDamaged(flushErr)
+	}
+	for gi, s := range group[:acquired] {
+		if flushed[gi] {
+			// This member's flush is durable end to end: a new rollback
+			// baseline.
+			s.tree.commitDurableMeta()
+		}
+	}
+	// Rollback replays for the quarantined members, charged on the vtime
+	// clock while their flush locks are still held (readers wait for the
+	// rollback exactly as they would for the flush).
+	for _, s := range group[:acquired] {
+		if e, ok := quar[s]; ok {
+			done = f.quarantineShard(done, s, e)
+		}
 	}
 	// Only members whose flush actually started hold the virtual lock.
 	for _, s := range group[:acquired] {
@@ -821,25 +1074,92 @@ func (f *Forest) flushGroup(at vtime.Ticks, trigger int) (vtime.Ticks, error) {
 	return done, flushErr
 }
 
+// submitGang submits the group's merged data writes, retrying batches
+// that failed transiently (a partial gang applies whole batches or none,
+// so a resubmission never double-writes). Returns the page files whose
+// batches never landed — mapped to their owning shards for quarantine —
+// and a fatal error for unattributable whole-gang failures.
+func (f *Forest) submitGang(at vtime.Ticks, gang *writeGang) (vtime.Ticks, map[*pagefile.PageFile]error, error) {
+	pending := make([]int, len(gang.order))
+	for i := range pending {
+		pending[i] = i
+	}
+	failed := make(map[*pagefile.PageFile]error)
+	pol := f.retry.norm()
+	for attempt := 0; ; attempt++ {
+		done, err := gang.submitSubset(at, pending)
+		f.gangSubmits.Add(1)
+		if err == nil {
+			return done, failed, nil
+		}
+		var pge *ssdio.PartialGangError
+		if errors.As(err, &pge) {
+			// Landed batches are out of the picture; permanent per-batch
+			// faults fail their owner immediately, transient ones retry.
+			var next []int
+			for _, flt := range pge.Faults {
+				orig := pending[flt.Batch]
+				if IsTransientIO(flt.Err) {
+					next = append(next, orig)
+				} else {
+					failed[gang.order[orig]] = flt.Err
+				}
+			}
+			pending = next
+		} else if !IsTransientIO(err) {
+			return done, failed, err
+		}
+		if len(pending) == 0 {
+			return done, failed, nil
+		}
+		if f.retry.Disabled || attempt >= pol.MaxRetries {
+			f.ioRetriesExhausted.Add(1)
+			for _, j := range pending {
+				failed[gang.order[j]] = err
+			}
+			return done, failed, nil
+		}
+		wait := pol.backoff(attempt)
+		f.ioRetries.Add(1)
+		f.ioRetryBackoff.Add(int64(wait))
+		at = done + wait
+	}
+}
+
 // forceLogs makes the registered member logs durable: one ganged
 // submission under group commit, or serial per-log Force calls under the
 // per-shard baseline (DisableLogGang).
 func (f *Forest) forceLogs(at vtime.Ticks, logs []*wal.Log) (vtime.Ticks, error) {
 	if f.logGangEnabled {
-		done, n, err := wal.ForceGroup(at, logs)
-		if n > 0 {
-			f.logGangSubmits.Add(1)
-		}
-		return done, err
+		// ForceGroup commits the members whose writes landed even on a
+		// partial failure, so a retried call resubmits only the
+		// still-unforced tails — the WAL append order is preserved.
+		return f.retryIO(at, func(at vtime.Ticks) (vtime.Ticks, error) {
+			done, n, err := wal.ForceGroup(at, logs)
+			if n > 0 {
+				f.logGangSubmits.Add(1)
+			}
+			return done, err
+		})
 	}
-	var err error
+	// Serial baseline: attempt every log even after an attributable fault
+	// so each member's durable state reflects its own device, not its
+	// position in the loop — the group-flush error handler attributes
+	// failures per member via Unforced. Unattributable errors still abort.
+	var firstFault error
 	for _, l := range logs {
-		at, err = l.Force(at)
+		var err error
+		at, err = f.retryIO(at, l.Force)
 		if err != nil {
-			return at, err
+			if !IsIOFault(err) {
+				return at, err
+			}
+			if firstFault == nil {
+				firstFault = err
+			}
 		}
 	}
-	return at, nil
+	return at, firstFault
 }
 
 // Flush forces a group flush seeded by the fullest shard (no-op when the
@@ -852,6 +1172,9 @@ func (f *Forest) Flush(at vtime.Ticks) (vtime.Ticks, error) {
 	for i, s := range f.shards {
 		s.mu.Lock()
 		n := s.tree.opq.Len()
+		if s.quarantined {
+			n = 0 // cannot flush; its queue holds already-durable replays
+		}
 		s.mu.Unlock()
 		if n > bestLen {
 			best, bestLen = i, n
@@ -899,9 +1222,21 @@ func (f *Forest) Checkpoint(at vtime.Ticks) (vtime.Ticks, error) {
 	// record: once the round is durable, everything before it is dead for
 	// recovery (each shard's replay starts at its last checkpoint).
 	cut := make(map[*wal.Log]uint64)
+	anyQuarantined := false
 	for _, s := range f.shards {
 		if !f.sharedLog {
 			s.mu.Lock()
+		}
+		//lint:ignore guardedby s.mu held above unless sharedLog, whose single-owner discipline serializes shard access
+		if s.quarantined {
+			// A quarantined shard cannot drain (its device may still be
+			// failing) and logs no checkpoint record: its replay cursor
+			// must stay where its last successful rollback left it.
+			anyQuarantined = true
+			if !f.sharedLog {
+				s.mu.Unlock()
+			}
+			continue
 		}
 		start := s.vlock.Acquire(at)
 		d, err := s.tree.drain(start)
@@ -941,8 +1276,10 @@ func (f *Forest) Checkpoint(at vtime.Ticks) (vtime.Ticks, error) {
 	// Log head truncation (the logs otherwise grow forever): safe only
 	// once the round is durable, and skipped while a migration is in
 	// flight — its Start/KeyMoved records may predate this checkpoint and
-	// recovery still needs them to resume or roll back the move.
-	if f.truncateLogs && !f.rebalanceActive.Load() {
+	// recovery still needs them to resume or roll back the move — or while
+	// any shard is quarantined: its Heal replay still reads records that
+	// predate this round's checkpoint cut.
+	if f.truncateLogs && !f.rebalanceActive.Load() && !anyQuarantined {
 		for l, lsn := range cut {
 			if _, err := l.TruncateHead(lsn); err != nil {
 				return done, err
@@ -976,7 +1313,31 @@ func (f *Forest) Sync(at vtime.Ticks) (vtime.Ticks, error) {
 			}
 		}()
 	}
-	return f.forceLogs(at, f.logs)
+	// Skip logs that only quarantined shards use: forcing a tail onto a
+	// dead device would fail the whole Sync for healthy shards' sake.
+	logs := make([]*wal.Log, 0, len(f.logs))
+	needed := make(map[*wal.Log]bool, len(f.logs))
+	for _, s := range f.shards {
+		if !f.sharedLog {
+			s.mu.Lock()
+		}
+		//lint:ignore guardedby s.mu held above unless sharedLog, whose single-owner discipline serializes shard access
+		if !s.quarantined {
+			needed[s.tree.log] = true
+		}
+		if !f.sharedLog {
+			s.mu.Unlock()
+		}
+	}
+	for _, l := range f.logs {
+		if needed[l] {
+			logs = append(logs, l)
+		}
+	}
+	if len(logs) == 0 {
+		return at, nil
+	}
+	return f.forceLogs(at, logs)
 }
 
 // ForestRecoveryReport aggregates the per-shard recovery reports.
@@ -1003,11 +1364,16 @@ type ForestRecoveryReport struct {
 // applied).
 func (f *Forest) Recover(at vtime.Ticks) (ForestRecoveryReport, vtime.Ticks, error) {
 	rep := ForestRecoveryReport{Shards: make([]RecoveryReport, len(f.shards))}
-	// A shared log is decoded once, not once per shard.
+	// A shared log is decoded once, not once per shard — and its scan I/O
+	// is charged once, on the vtime clock, like any other read.
 	var shared []wal.Record
 	if f.sharedLog {
 		var err error
-		shared, err = f.logs[0].Records()
+		at, err = f.retryIO(at, func(at vtime.Ticks) (vtime.Ticks, error) {
+			var rerr error
+			shared, at, rerr = f.logs[0].RecordsTimed(at)
+			return at, rerr
+		})
 		if err != nil {
 			return rep, at, err
 		}
@@ -1022,6 +1388,11 @@ func (f *Forest) Recover(at vtime.Ticks) (ForestRecoveryReport, vtime.Ticks, err
 			r, d, err = s.tree.recoverFrom(at, shared)
 		} else {
 			r, d, err = s.tree.Recover(at)
+		}
+		if err == nil {
+			// A successful replay supersedes any quarantine: the shard is
+			// re-admitted in exactly the durable state.
+			s.quarantined, s.qDirty, s.qErr = false, false, nil
 		}
 		s.mu.Unlock()
 		if err != nil {
@@ -1046,6 +1417,63 @@ func (f *Forest) Recover(at vtime.Ticks) (ForestRecoveryReport, vtime.Ticks, err
 	// group-commit damage mark.
 	f.damaged.Store(nil)
 	return rep, done, nil
+}
+
+// Heal attempts to re-admit a quarantined shard: it re-runs the
+// rollback replay (restore the durable snapshot, drop volatile state,
+// replay the shard's durable log records), and on success lifts the
+// quarantine — the shard serves writes again from exactly its committed
+// state. If the device is still failing the replay fails and the shard
+// stays quarantined; call again after the fault clears. A no-op on a
+// healthy shard.
+func (f *Forest) Heal(at vtime.Ticks, shard int) (vtime.Ticks, error) {
+	if err := f.checkDamaged(); err != nil {
+		return at, err
+	}
+	if shard < 0 || shard >= len(f.shards) {
+		return at, fmt.Errorf("core: Heal: no shard %d (forest has %d)", shard, len(f.shards))
+	}
+	s := f.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.quarantined {
+		return at, nil
+	}
+	// Force the shard's log tail first: an aborted migration leaves its
+	// compensation records (and any stranded appends) in the unforced
+	// tail, and the rollback replay below reads only durable records. If
+	// the force still fails the device hasn't recovered — Heal fails.
+	done := at
+	if s.tree.log != nil {
+		var err error
+		done, err = s.tree.retryIO(done, s.tree.log.Force)
+		if err != nil {
+			s.qDirty = true
+			return done, fmt.Errorf("core: Heal shard %d: force tail: %w", shard, err)
+		}
+	}
+	done, err := s.tree.rollbackToDurable(done)
+	if err != nil {
+		// Still failing: reads stay off too until a replay goes through.
+		s.qDirty = true
+		return done, fmt.Errorf("core: Heal shard %d: %w", shard, err)
+	}
+	s.quarantined, s.qDirty, s.qErr = false, false, nil
+	return done, nil
+}
+
+// Quarantined returns the indexes of shards currently in read-only
+// degraded mode.
+func (f *Forest) Quarantined() []int {
+	var out []int
+	for i, s := range f.shards {
+		s.mu.Lock()
+		if s.quarantined {
+			out = append(out, i)
+		}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Crash simulates a whole-forest crash: every shard's volatile state
@@ -1186,11 +1614,15 @@ func (f *Forest) Stats() ForestStats {
 	for _, s := range f.shards {
 		s.mu.Lock()
 		out.ShardLoads = append(out.ShardLoads, ShardLoad{
-			Ops:      s.ops,
-			Keys:     s.tree.Count(),
-			Pending:  s.tree.OPQLen(),
-			OPQPages: s.tree.OPQPages(),
+			Ops:         s.ops,
+			Keys:        s.tree.Count(),
+			Pending:     s.tree.OPQLen(),
+			OPQPages:    s.tree.OPQPages(),
+			Quarantined: s.quarantined,
 		})
+		if s.quarantined {
+			out.QuarantinedShards++
+		}
 		st := s.tree.Stats()
 		out.Tree.Flushes += st.Flushes
 		out.Tree.Shrinks += st.Shrinks
@@ -1203,11 +1635,19 @@ func (f *Forest) Stats() ForestStats {
 		out.Tree.UpdateOps += st.UpdateOps
 		out.Tree.RangeOps += st.RangeOps
 		out.Tree.OPQShortcuts += st.OPQShortcuts
+		out.Tree.IORetries += st.IORetries
+		out.Tree.IORetryBackoff += st.IORetryBackoff
+		out.Tree.IORetriesExhausted += st.IORetriesExhausted
 		out.VLockWaits += s.vlock.Waits
 		out.VLockContended += s.vlock.Contended
 		out.Pending += s.tree.OPQLen()
 		s.mu.Unlock()
 	}
+	// The coordinator's own retry activity (gang and ganged log-force
+	// resubmissions) on top of the per-tree counters.
+	out.IORetries = out.Tree.IORetries + f.ioRetries.Load()
+	out.IORetryBackoff = out.Tree.IORetryBackoff + vtime.Ticks(f.ioRetryBackoff.Load())
+	out.IORetriesExhausted = out.Tree.IORetriesExhausted + f.ioRetriesExhausted.Load()
 	// Log-plane counters: each log guards its own counters (Sync and
 	// Checkpoint may force per-shard logs without holding shard locks).
 	out.LogGangSubmits = f.logGangSubmits.Load()

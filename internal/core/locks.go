@@ -15,8 +15,13 @@
 // Two lock classes are legitimately multi-held; their instances are
 // always acquired in a canonical order:
 //
+// The fault injector rules on every submission unit before the file
+// mutex is taken, so faultio.Plane.mu sits between the WAL and the I/O
+// plane and is never held while any other lock is acquired.
+//
 //lint:lockorder core.Forest.migMu < core.forestShard.mu < wal.Log.mu < ssdio.File.mu < flashsim.Device.mu
 //lint:lockorder core.Forest.autoMu < core.forestShard.mu
 //lint:lockorder core.Concurrent.mu < wal.Log.mu
+//lint:lockorder wal.Log.mu < faultio.Plane.mu
 //lint:lockorder-multi core.forestShard.mu shard pairs and flush groups lock shards in ascending shard-index order
 package core

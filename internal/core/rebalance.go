@@ -339,6 +339,17 @@ func (f *Forest) StartMigration(at vtime.Ticks, lo, hi kv.Key, src, dst int) (*M
 	if hi <= lo {
 		return nil, at, fmt.Errorf("core: migration range [%d, %d) is empty", lo, hi)
 	}
+	for _, si := range []int{src, dst} {
+		s := f.shards[si]
+		s.mu.Lock()
+		q, qe := s.quarantined, s.qErr
+		s.mu.Unlock()
+		if q {
+			// A quarantined shard can neither stream chunks nor absorb
+			// copies; Heal it first.
+			return nil, at, shardQuarantinedErr(si, qe)
+		}
+	}
 	if !f.rebalanceActive.CompareAndSwap(false, true) {
 		return nil, at, fmt.Errorf("core: a migration is already in flight")
 	}
@@ -489,9 +500,21 @@ func (f *Forest) migrateChunk(at vtime.Ticks, m *Migration) (vtime.Ticks, error)
 
 	start := src.vlock.Acquire(at)
 	defer func() { src.vlock.Release(start) }()
+	// fail resolves a mid-chunk I/O failure by aborting the migration at
+	// the durable frontier with both shards quarantined; non-I/O errors
+	// keep escalating to the forest damaged mark.
+	fail := func(now vtime.Ticks, recs []kv.Record, undoSrc bool, err error) (vtime.Ticks, error) {
+		if IsIOFault(err) && len(f.migrationLogs(m.src, m.dst)) > 0 {
+			return f.failMigration(now, m, recs, undoSrc, err)
+		}
+		f.setDamaged(err)
+		return now, err
+	}
 	recs, now, err := src.tree.RangeSearch(start, a, b)
 	if err != nil {
 		start = now
+		now, err = fail(now, nil, false, err)
+		start = vtime.Max(start, now)
 		return now, err
 	}
 	// Copy to the destination: redo records append to dst's log; a full
@@ -501,9 +524,9 @@ func (f *Forest) migrateChunk(at vtime.Ticks, m *Migration) (vtime.Ticks, error)
 		opq, err = dst.tree.Insert(opq, r)
 		if err != nil {
 			dst.vopq.Release(opq)
-			f.setDamaged(err)
-			start = opq
-			return opq, err
+			now, err = fail(opq, recs, false, err)
+			start = vtime.Max(opq, now)
+			return now, err
 		}
 	}
 	dst.vopq.Release(opq)
@@ -512,10 +535,10 @@ func (f *Forest) migrateChunk(at vtime.Ticks, m *Migration) (vtime.Ticks, error)
 	// record can be. A lost dst tail after a durable KeyMoved would strand
 	// keys the source is about to delete.
 	if dst.tree.log != nil {
-		now, err = dst.tree.log.Force(now)
+		now, err = dst.tree.retryIO(now, dst.tree.log.Force)
 		if err != nil {
-			f.setDamaged(err)
-			start = now
+			now, err = fail(now, recs, false, err)
+			start = vtime.Max(start, now)
 			return now, err
 		}
 	}
@@ -531,16 +554,16 @@ func (f *Forest) migrateChunk(at vtime.Ticks, m *Migration) (vtime.Ticks, error)
 	for _, r := range recs {
 		now, err = src.tree.Delete(now, r.Key)
 		if err != nil {
-			f.setDamaged(err)
-			start = now
+			now, err = fail(now, recs, true, err)
+			start = vtime.Max(start, now)
 			return now, err
 		}
 	}
 	if src.tree.log != nil {
-		now, err = src.tree.log.Force(now)
+		now, err = src.tree.retryIO(now, src.tree.log.Force)
 		if err != nil {
-			f.setDamaged(err)
-			start = now
+			now, err = fail(now, recs, true, err)
+			start = vtime.Max(start, now)
 			return now, err
 		}
 	}
@@ -555,6 +578,102 @@ func (f *Forest) migrateChunk(at vtime.Ticks, m *Migration) (vtime.Ticks, error)
 	f.keysMigrated.Add(int64(len(recs)))
 	start = now
 	return now, nil
+}
+
+// failMigration aborts the in-flight migration after an I/O failure
+// mid-chunk. Caller holds migMu and both shard locks. The resolution
+// must stay consistent under BOTH durable outcomes of the shards' log
+// tails — a tail that is never forced (the durable log shows the last
+// published frontier F and an open migration, which crash recovery
+// resolves), and a tail a later Heal forces in full (the failing chunk's
+// copies, KeyMoved and deletes become durable in order). So:
+//
+//  1. both trees roll back to their committed state and quarantine
+//     (their devices just exhausted retries);
+//  2. compensation records are appended BEHIND the chunk's records:
+//     redo-deletes on dst purge the chunk copies (and, in memory, the
+//     durable copies the rollback just resurrected), and redo-inserts on
+//     src revive the chunk keys when its deletes were already appended —
+//     whenever the tails do become durable, the chunk nets to zero;
+//  3. a MigrationEnd commits exactly the committed prefix [lo, F)
+//     ('a' aborts outright when no chunk ever committed), and
+//     recoverRouting takes a 'c' rule's range from the End record, so a
+//     durable-but-superseded KeyMoved cannot widen it;
+//  4. the routing publishes the partial rule and drops the migration.
+func (f *Forest) failMigration(at vtime.Ticks, m *Migration, recs []kv.Record, undoSrc bool, cause error) (vtime.Ticks, error) {
+	src, dst := f.shards[m.src], f.shards[m.dst]
+	rt := f.rpart.cur.Load()
+	frontier := m.lo
+	if rt.mig != nil && rt.mig.id == m.id {
+		frontier = rt.mig.frontier
+	}
+	done := f.quarantineShard(at, src, cause)
+	done = f.quarantineShard(done, dst, cause)
+	if f.damaged.Load() != nil {
+		return done, cause
+	}
+	// Purge the chunk's copies from the destination. tree.Delete both
+	// removes any durable copy the rollback resurrected from memory and
+	// appends the covering redo-delete to dst's tail; keys whose copy
+	// never landed get a harmless tombstone. A failing purge means stale
+	// copies may survive on an unquarantinable path — escalate.
+	if dst.tree.log != nil {
+		for _, r := range recs {
+			var err error
+			done, err = dst.tree.Delete(done, r.Key)
+			if err != nil {
+				f.setDamaged(fmt.Errorf("core: migration %d abort purge failed: %w (original fault: %v)", m.id, err, cause))
+				return done, cause
+			}
+		}
+	}
+	// The source's chunk deletes (appended, never durable — a durable
+	// delete would have published the frontier) are compensated with
+	// plain redo-inserts behind them; in memory the rollback already
+	// restored the keys.
+	if undoSrc && src.tree.log != nil {
+		for _, r := range recs {
+			src.tree.log.Append(wal.Record{
+				Kind: wal.KindLogicalRedo, Relation: src.tree.cfg.Relation,
+				Key: r.Key, Value: r.Value, Op: wal.OpType(kv.OpInsert),
+			})
+		}
+	}
+	op := wal.OpType('a')
+	endLo, endHi := m.lo, m.hi
+	if frontier > m.lo {
+		op, endHi = wal.OpType('c'), frontier
+	}
+	for _, si := range []int{m.src, m.dst} {
+		if l := f.shards[si].tree.log; l != nil {
+			l.Append(wal.Record{
+				Kind: wal.KindMigrationEnd, Relation: f.shards[si].tree.cfg.Relation,
+				FlushID: m.id, KeyLo: endLo, KeyHi: endHi,
+				Key: uint64(m.src), Value: uint64(m.dst), Op: op,
+			})
+		}
+	}
+	if logs := f.migrationLogs(m.src, m.dst); len(logs) > 0 {
+		if d, err := f.forceLogs(done, logs); err == nil {
+			done = d
+		}
+		// A failed force is fine: the End stays in the tails, the durable
+		// log keeps the migration open at frontier F, and either a Heal
+		// (forces the tails, compensations included) or a crash recovery
+		// (resolves from the durable frontier) converges to this state.
+	}
+	next := *rt
+	next.mig = nil
+	next.maxCommitted = m.id
+	if frontier > m.lo {
+		next.rules = append(append([]MoveRule(nil), rt.rules...),
+			MoveRule{Lo: m.lo, Hi: frontier, From: m.src, To: m.dst, ID: m.id})
+		f.migrations.Add(1)
+	}
+	f.rpart.publish(next)
+	f.rebalanceActive.Store(false)
+	return done, fmt.Errorf("core: migration %d aborted at frontier %d, shards %d/%d quarantined: %w",
+		m.id, frontier, m.src, m.dst, cause)
 }
 
 // commitMigration makes the routing flip durable (MigrationEnd through
@@ -581,8 +700,18 @@ func (f *Forest) commitMigration(at vtime.Ticks, m *Migration) (vtime.Ticks, err
 		var err error
 		done, err = f.forceLogs(done, logs)
 		if err != nil {
-			f.setDamaged(err)
-			return done, err
+			if !IsIOFault(err) {
+				f.setDamaged(err)
+				return done, err
+			}
+			// Every chunk is durably committed; only the End force failed.
+			// The rule may publish regardless: the Ends stay in the tails
+			// (a Heal forces them; a crash resolves the open migration from
+			// the durable frontier = hi, re-streaming an empty remainder to
+			// the same outcome). The log devices are failing, though —
+			// quarantine the pair.
+			done = f.quarantineShard(done, f.shards[m.src], err)
+			done = f.quarantineShard(done, f.shards[m.dst], err)
 		}
 	}
 	rt := f.rpart.cur.Load()
@@ -642,6 +771,26 @@ func (m *Migration) Drain(at vtime.Ticks) (vtime.Ticks, error) {
 	}
 }
 
+// DrainUntil steps the migration until it commits or the virtual clock
+// reaches deadline, whichever comes first. Chunks are atomic: the last
+// one may overshoot the deadline, but no new chunk starts past it. The
+// bool reports whether the migration committed.
+func (m *Migration) DrainUntil(at, deadline vtime.Ticks) (bool, vtime.Ticks, error) {
+	for {
+		done, next, err := m.Step(at)
+		if err != nil {
+			return false, next, err
+		}
+		at = next
+		if done {
+			return true, at, nil
+		}
+		if at >= deadline {
+			return false, at, nil
+		}
+	}
+}
+
 // coldestShard picks the shard (other than excluded) holding the fewest
 // keys, preferring emptied merge targets as split destinations.
 func (f *Forest) coldestShard(exclude int) (int, error) {
@@ -651,8 +800,12 @@ func (f *Forest) coldestShard(exclude int) (int, error) {
 			continue
 		}
 		s.mu.Lock()
-		n := s.tree.Count()
+		n, q := s.tree.Count(), s.quarantined
 		s.mu.Unlock()
+		if q {
+			// A quarantined shard rejects the migration's inserts.
+			continue
+		}
 		if best < 0 || n < bestKeys {
 			best, bestKeys = i, n
 		}
@@ -672,6 +825,11 @@ type RebalancePolicy struct {
 	// HotFactor is the hottest/mean load ratio that triggers a split
 	// (default 2.0).
 	HotFactor float64
+	// DrainBudget bounds the virtual time one AutoRebalance call may
+	// spend draining its migration; 0 drains to completion. A move that
+	// exceeds the budget stays in flight and later calls resume it, so a
+	// stuck (or fault-injected) migration cannot freeze the poller.
+	DrainBudget vtime.Ticks
 }
 
 // AutoRebalance inspects the per-shard load deltas since its last call
@@ -684,6 +842,21 @@ func (f *Forest) AutoRebalance(at vtime.Ticks, pol RebalancePolicy) (moved bool,
 	}
 	if pol.HotFactor <= 1 {
 		pol.HotFactor = 2.0
+	}
+	// A move left in flight by an earlier budget-bounded poll is resumed
+	// before any new one is considered.
+	f.autoMu.Lock()
+	pending := f.autoMig
+	f.autoMu.Unlock()
+	if pending != nil {
+		finished, done, err := f.drainBudgeted(pending, at, pol.DrainBudget)
+		if finished || err != nil {
+			f.autoMu.Lock()
+			f.autoMig = nil
+			f.autoMu.Unlock()
+		}
+		_, _, psrc, pdst := pending.Range()
+		return finished, psrc, pdst, done, err
 	}
 	n := len(f.shards)
 	deltas := make([]int64, n)
@@ -713,16 +886,42 @@ func (f *Forest) AutoRebalance(at vtime.Ticks, pol RebalancePolicy) (moved bool,
 	}
 	s := f.shards[hot]
 	s.mu.Lock()
+	q := s.quarantined
 	boundary, ok := s.tree.ApproxMedianKey()
 	s.mu.Unlock()
-	if !ok {
+	if q || !ok {
+		// A quarantined hot shard can't stream keys out (its reads may be
+		// fine, but the migration must delete from it); leave it for Heal.
 		return false, -1, -1, at, nil
 	}
-	dst, done, err := f.SplitShard(at, hot, boundary)
+	dst, err := f.coldestShard(hot)
+	if err != nil {
+		return false, hot, -1, at, err
+	}
+	m, done, err := f.StartMigration(at, boundary, MaxMigrationKey, hot, dst)
 	if err != nil {
 		return false, hot, dst, done, err
 	}
-	return true, hot, dst, done, nil
+	finished, done, err := f.drainBudgeted(m, done, pol.DrainBudget)
+	if err != nil {
+		return false, hot, dst, done, err
+	}
+	if !finished {
+		f.autoMu.Lock()
+		f.autoMig = m
+		f.autoMu.Unlock()
+	}
+	return finished, hot, dst, done, nil
+}
+
+// drainBudgeted drains m fully when budget is zero, else for at most
+// budget ticks of virtual time.
+func (f *Forest) drainBudgeted(m *Migration, at, budget vtime.Ticks) (bool, vtime.Ticks, error) {
+	if budget <= 0 {
+		done, err := m.Drain(at)
+		return err == nil, done, err
+	}
+	return m.DrainUntil(at, at+budget)
 }
 
 // migrationEvent accumulates one migration's durable records during the
@@ -734,6 +933,10 @@ type migrationEvent struct {
 	started  bool
 	frontier kv.Key
 	end      byte // 'c' committed, 'a' aborted, 0 open
+	// endLo/endHi are the End record's range: a live abort commits only
+	// the prefix streamed before the fault, so the committed rule must
+	// come from the End record, not the Start record.
+	endLo, endHi kv.Key
 }
 
 // recoverRouting rebuilds the routing table from the durable log and
@@ -782,6 +985,7 @@ func (f *Forest) recoverRouting(at vtime.Ticks, rep *ForestRecoveryReport) (vtim
 					}
 				case wal.KindMigrationEnd:
 					ev.end = byte(r.Op)
+					ev.endLo, ev.endHi = r.KeyLo, r.KeyHi
 				}
 			}
 		}
@@ -814,7 +1018,7 @@ func (f *Forest) recoverRouting(at vtime.Ticks, rep *ForestRecoveryReport) (vtim
 		}
 		switch ev.end {
 		case 'c':
-			rules = append(rules, MoveRule{Lo: ev.lo, Hi: ev.hi, From: ev.src, To: ev.dst, ID: ev.id})
+			rules = append(rules, MoveRule{Lo: ev.endLo, Hi: ev.endHi, From: ev.src, To: ev.dst, ID: ev.id})
 			maxCommitted = ev.id
 		case 'a':
 			maxCommitted = ev.id

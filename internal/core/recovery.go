@@ -41,11 +41,24 @@ func (t *Tree) Recover(at vtime.Ticks) (RecoveryReport, vtime.Ticks, error) {
 	if t.log == nil {
 		return RecoveryReport{}, at, fmt.Errorf("core: Recover called without a WAL attached")
 	}
-	recs, err := t.log.Records()
+	recs, at, err := t.readDurableRecords(at)
 	if err != nil {
 		return RecoveryReport{}, at, err
 	}
 	return t.recoverFrom(at, recs)
+}
+
+// readDurableRecords scans the durable WAL with the read I/O charged on
+// the vtime clock (recovery used to replay for free), retrying transient
+// faults like any other read.
+func (t *Tree) readDurableRecords(at vtime.Ticks) ([]wal.Record, vtime.Ticks, error) {
+	var recs []wal.Record
+	at, err := t.retryIO(at, func(at vtime.Ticks) (vtime.Ticks, error) {
+		var rerr error
+		recs, at, rerr = t.log.RecordsTimed(at)
+		return at, rerr
+	})
+	return recs, at, err
 }
 
 // recoverFrom replays pre-decoded log records. Forest.Recover decodes a
@@ -97,9 +110,12 @@ func (t *Tree) recoverFrom(at vtime.Ticks, recs []wal.Record) (RecoveryReport, v
 			return rep, at, fmt.Errorf("core: flush undo for page %d has %d bytes", r.NodeID, len(r.UndoInfo))
 		}
 		// One timed page write both restores the pre-image and charges the
-		// undo's device cost.
+		// undo's device cost. Pre-image writes are idempotent, so retrying
+		// a transient fault is safe.
 		var werr error
-		at, werr = t.pf.WritePage(at, pagefile.PageID(r.NodeID), r.UndoInfo)
+		at, werr = t.retryIO(at, func(at vtime.Ticks) (vtime.Ticks, error) {
+			return t.pf.WritePage(at, pagefile.PageID(r.NodeID), r.UndoInfo)
+		})
 		if werr != nil {
 			return rep, at, werr
 		}
@@ -133,6 +149,7 @@ func (t *Tree) recoverFrom(at vtime.Ticks, recs []wal.Record) (RecoveryReport, v
 			}
 		}
 	}
+	budget := t.opq.Cap()
 	t.opq.Reset()
 	t.count = 0
 	for i, r := range mine {
@@ -145,10 +162,23 @@ func (t *Tree) recoverFrom(at vtime.Ticks, recs []wal.Record) (RecoveryReport, v
 		}
 		e := kv.Entry{Rec: kv.Record{Key: r.Key, Value: r.Value}, Op: kv.Op(r.Op)}
 		if t.opq.Full() {
-			// Recovery cannot trigger flushes (the log is being replayed);
-			// an overfull queue here means the pre-crash tree violated its
-			// own flush-on-full rule.
-			return rep, at, fmt.Errorf("core: OPQ overflow during recovery")
+			// A quarantined shard appends compensation records (migration
+			// purges, stranded copies) to its tail but can never flush, so
+			// the durable redo stream may legitimately exceed the OPQ
+			// budget. Flushing mid-replay would let the new flush's key
+			// range cover not-yet-replayed records and lose them on the
+			// NEXT recovery, so grow the queue instead and drain it with a
+			// regular flush once the replay is complete.
+			grown, gerr := NewOPQ(t.opq.Cap()*2, t.cfg.SPeriod)
+			if gerr != nil {
+				return rep, at, gerr
+			}
+			for _, pe := range t.opq.Entries() {
+				if gerr := grown.Append(pe); gerr != nil {
+					return rep, at, gerr
+				}
+			}
+			t.opq = grown
 		}
 		if err := t.opq.Append(e); err != nil {
 			return rep, at, err
@@ -159,6 +189,21 @@ func (t *Tree) recoverFrom(at vtime.Ticks, recs []wal.Record) (RecoveryReport, v
 	if err := t.recountNoCost(); err != nil {
 		return rep, at, err
 	}
+	if t.opq.Len() > budget {
+		// Bring the queue back under its configured budget. This flush
+		// consumes every replayed entry in its range, so the covered-skip
+		// rule holds for it like for any foreground flush; on a failure
+		// (the device is still faulty) the whole replay fails and the
+		// caller keeps the shard offline.
+		var ferr error
+		at, ferr = t.FlushBatch(at, 0)
+		if ferr != nil {
+			return rep, at, ferr
+		}
+	}
+	// The tree now reflects exactly the durable log: a new rollback
+	// baseline for quarantine recovery.
+	t.commitDurableMeta()
 	return rep, at, nil
 }
 
@@ -229,6 +274,17 @@ func (t *Tree) RestoreMeta(m Meta) {
 // CrashVolatileState simulates a crash: the OPQ, LSMap and buffer pool
 // contents vanish; only the simulated SSD (pagefile + forced WAL) remains.
 func (t *Tree) CrashVolatileState() {
+	t.dropVolatile()
+	if t.log != nil {
+		t.log.Crash()
+	}
+}
+
+// dropVolatile discards the tree's volatile state (OPQ, LSMap, pending
+// internal updates, buffer pool) WITHOUT touching the WAL tail. Quarantine
+// rollback uses this: on a shared multiplexed log the unforced tail still
+// holds other shards' appends, so only a real crash may drop it.
+func (t *Tree) dropVolatile() {
 	if fresh, err := NewOPQ(t.opq.Cap(), t.cfg.SPeriod); err == nil {
 		t.opq = fresh
 	} else {
@@ -239,7 +295,24 @@ func (t *Tree) CrashVolatileState() {
 	if pool, err := bufferpool.New(t.pf, t.pool.Capacity(), bufferpool.WriteThrough); err == nil {
 		t.pool = pool
 	}
-	if t.log != nil {
-		t.log.Crash()
+}
+
+// rollbackToDurable rewinds the tree to its last committed state after an
+// I/O failure mid-operation: restore the durable structural snapshot,
+// discard all volatile state, then replay the durable log — the same
+// procedure as crash recovery, minus the crash. At the moments this runs
+// (retry exhaustion inside a flush or migration) the tree's own durable
+// records describe exactly the committed state, so the replay converges.
+func (t *Tree) rollbackToDurable(at vtime.Ticks) (vtime.Ticks, error) {
+	if t.log == nil {
+		return at, fmt.Errorf("core: rollbackToDurable requires a WAL")
 	}
+	t.RestoreMeta(t.durableMeta)
+	t.dropVolatile()
+	recs, at, err := t.readDurableRecords(at)
+	if err != nil {
+		return at, err
+	}
+	_, at, err = t.recoverFrom(at, recs)
+	return at, err
 }

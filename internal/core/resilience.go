@@ -1,0 +1,134 @@
+// Fault handling of the I/O plane: error classification, bounded retry
+// with vtime-charged exponential backoff, and the shard-quarantine
+// sentinel. The paper's model assumes the device either completes a
+// psync gang or the machine crashes; this layer is what lets the forest
+// operate through the third case — a device that returns errors and
+// keeps running.
+package core
+
+import (
+	"errors"
+
+	"repro/internal/vtime"
+)
+
+// ErrShardQuarantined rejects writes addressed to a shard operating in
+// read-only degraded mode after retry exhaustion or a permanent device
+// failure. Reads keep being served from the shard's committed state;
+// Forest.Heal re-admits the shard after a successful recovery replay.
+var ErrShardQuarantined = errors.New("core: shard quarantined (read-only degraded mode)")
+
+// IsTransientIO classifies an I/O error: transient failures (injected
+// transient EIO, stuck-op timeouts, all-transient partial gangs) may
+// succeed on retry; everything else — permanent device failures,
+// validation errors, unknown errors — is treated as permanent, the
+// conservative default.
+func IsTransientIO(err error) bool {
+	var t interface{ TransientIO() bool }
+	return errors.As(err, &t) && t.TransientIO()
+}
+
+// IsIOFault reports whether err originated in the I/O plane — it carries
+// the TransientIO marker, whatever its classification. The coordinator
+// uses this to tell device failures (contained by shard quarantine) from
+// validation or encoding errors (escalated to the forest damaged mark).
+func IsIOFault(err error) bool {
+	var t interface{ TransientIO() bool }
+	return errors.As(err, &t)
+}
+
+// RetryPolicy bounds the transient-fault retry loop. The zero value means
+// "defaults" (4 retries, 50µs base backoff doubling up to 2ms), so every
+// existing Config gets resilience without opting in; set Disabled to get
+// the pre-fault-plane fail-fast behaviour.
+type RetryPolicy struct {
+	// Disabled turns retry off entirely.
+	Disabled bool
+	// MaxRetries is the number of re-attempts after the first failure
+	// (<= 0 means the default).
+	MaxRetries int
+	// BaseBackoff is the wait charged before the first retry; it doubles
+	// per attempt up to MaxBackoff (0 means the defaults).
+	BaseBackoff vtime.Ticks
+	MaxBackoff  vtime.Ticks
+}
+
+// Default retry bounds: four attempts spanning ~50µs..800µs of backoff,
+// comfortably above the device's GC-stall latencies but far below a
+// scenario phase.
+const (
+	defaultMaxRetries  = 4
+	defaultBaseBackoff = 50 * vtime.Microsecond
+	defaultMaxBackoff  = 2 * vtime.Millisecond
+)
+
+// norm resolves the zero-value defaults.
+func (p RetryPolicy) norm() RetryPolicy {
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = defaultMaxRetries
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = defaultBaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = defaultMaxBackoff
+	}
+	return p
+}
+
+// backoff returns the wait before retry attempt (0-based), exponential
+// with a cap.
+func (p RetryPolicy) backoff(attempt int) vtime.Ticks {
+	b := p.BaseBackoff
+	for i := 0; i < attempt && b < p.MaxBackoff; i++ {
+		b *= 2
+	}
+	if b > p.MaxBackoff {
+		b = p.MaxBackoff
+	}
+	return b
+}
+
+// retryStats counts retry activity; Tree and Forest each embed one.
+type retryStats struct {
+	// IORetries counts re-attempted submissions after a transient fault.
+	IORetries int64
+	// IORetryBackoff is the total vtime charged waiting between attempts.
+	IORetryBackoff vtime.Ticks
+	// IORetriesExhausted counts transient faults that survived every
+	// retry (the events that escalate to quarantine).
+	IORetriesExhausted int64
+}
+
+func (s *retryStats) add(o retryStats) {
+	s.IORetries += o.IORetries
+	s.IORetryBackoff += o.IORetryBackoff
+	s.IORetriesExhausted += o.IORetriesExhausted
+}
+
+// retryTimedIO runs a timed I/O operation, re-attempting transient
+// failures with exponential backoff charged on the vtime clock (the
+// retry loop blocks the submitter exactly as a real one would). The op
+// is invoked with the virtual time at which its submission may start;
+// failed submissions must not have applied contents (the ssdio fault
+// plane guarantees this), so resubmission is safe. Permanent errors
+// return immediately.
+func retryTimedIO(pol RetryPolicy, ctr *retryStats, at vtime.Ticks, op func(vtime.Ticks) (vtime.Ticks, error)) (vtime.Ticks, error) {
+	done, err := op(at)
+	if err == nil || pol.Disabled {
+		return done, err
+	}
+	pol = pol.norm()
+	for attempt := 0; err != nil && IsTransientIO(err) && attempt < pol.MaxRetries; attempt++ {
+		wait := pol.backoff(attempt)
+		if ctr != nil {
+			ctr.IORetries++
+			ctr.IORetryBackoff += wait
+		}
+		done, err = op(done + wait)
+	}
+	if err != nil && IsTransientIO(err) && ctr != nil {
+		ctr.IORetriesExhausted++
+	}
+	return done, err
+}

@@ -51,6 +51,10 @@ type Config struct {
 
 	// Relation is the index relation id recorded in WAL records.
 	Relation uint32
+
+	// Retry bounds the transient-fault retry loop of every timed I/O
+	// (see RetryPolicy; the zero value enables the defaults).
+	Retry RetryPolicy
 }
 
 func (c *Config) fill() float64 {
@@ -90,6 +94,12 @@ type Tree struct {
 	height int // levels including the leaf level; 1 = root is a leaf
 	count  int64
 
+	// durableMeta is the structural state as of the last durable commit
+	// point (creation, bulk load, inline flush commit, group-commit
+	// phase 2, recovery). Quarantine rollback restores it before
+	// replaying the durable log.
+	durableMeta Meta
+
 	log     *wal.Log // optional
 	flushID uint64
 
@@ -122,6 +132,9 @@ type Stats struct {
 	UpdateOps    int64
 	RangeOps     int64
 	OPQShortcuts int64 // searches answered from the OPQ
+
+	// Retry activity (IORetries, IORetryBackoff, IORetriesExhausted).
+	retryStats
 }
 
 // New creates an empty PIO B-tree on pf.
@@ -167,7 +180,30 @@ func New(pf *pagefile.PageFile, cfg Config) (*Tree, error) {
 	t.root = leaf.id
 	t.height = 1
 	t.lsmap.Set(int64(leaf.id), 0)
+	t.commitDurableMeta()
 	return t, nil
+}
+
+// commitDurableMeta records the structural state at a durable commit
+// point; quarantine rollback restores it (see rollbackToDurable).
+func (t *Tree) commitDurableMeta() { t.durableMeta = t.Snapshot() }
+
+// retryIO re-attempts a timed I/O op through the tree's retry policy,
+// charging backoff on the vtime clock and counting into the tree stats.
+func (t *Tree) retryIO(at vtime.Ticks, op func(vtime.Ticks) (vtime.Ticks, error)) (vtime.Ticks, error) {
+	return retryTimedIO(t.cfg.Retry, &t.stats.retryStats, at, op)
+}
+
+// poolGet reads one page through the buffer pool, retrying transient
+// device faults on miss fills (pool hits never fail).
+func (t *Tree) poolGet(at vtime.Ticks, id pagefile.PageID) ([]byte, vtime.Ticks, error) {
+	var data []byte
+	at, err := t.retryIO(at, func(at vtime.Ticks) (vtime.Ticks, error) {
+		var err error
+		data, at, err = t.pool.Get(at, id)
+		return at, err
+	})
+	return data, at, err
 }
 
 // AttachWAL enables write-ahead logging (Section 3.4) on the tree.
@@ -196,13 +232,15 @@ func (t *Tree) OPQPages() int { return t.cfg.OPQPages }
 // forceWAL makes the tree's appended log records durable. During a forest
 // group flush the force is deferred instead: the log registers with the
 // group's log gang, and the coordinator issues one ganged force for every
-// member before any data write reaches the device.
+// member before any data write reaches the device. Inline forces retry
+// transient faults; a retried force resubmits the whole unforced tail
+// (pendingReq takes it wholesale), preserving WAL protocol order.
 func (t *Tree) forceWAL(at vtime.Ticks) (vtime.Ticks, error) {
 	if t.walGang != nil {
 		t.walGang.need(t.log)
 		return at, nil
 	}
-	return t.log.Force(at)
+	return t.retryIO(at, t.log.Force)
 }
 
 // Count returns the number of live records (OPQ included).
@@ -276,7 +314,7 @@ func (t *Tree) writeLeafNoCost(l *leafNode) error {
 
 // readInternal fetches an internal node through the buffer pool.
 func (t *Tree) readInternal(at vtime.Ticks, id pagefile.PageID) (*internalNode, vtime.Ticks, error) {
-	data, at, err := t.pool.Get(at, id)
+	data, at, err := t.poolGet(at, id)
 	if err != nil {
 		return nil, at, err
 	}
@@ -299,7 +337,7 @@ func (t *Tree) readInternal(at vtime.Ticks, id pagefile.PageID) (*internalNode, 
 // the cost model).
 func (t *Tree) readLeafTimed(at vtime.Ticks, id pagefile.PageID, upto int) (*leafNode, vtime.Ticks, error) {
 	if t.cfg.LeafSegs == 1 {
-		data, at, err := t.pool.Get(at, id)
+		data, at, err := t.poolGet(at, id)
 		if err != nil {
 			return nil, at, err
 		}
@@ -308,7 +346,9 @@ func (t *Tree) readLeafTimed(at vtime.Ticks, id pagefile.PageID, upto int) (*lea
 	}
 	n := upto + 1
 	buf := make([]byte, n*t.cfg.PageSize)
-	at, err := t.pf.ReadRun(at, id, n, buf)
+	at, err := t.retryIO(at, func(at vtime.Ticks) (vtime.Ticks, error) {
+		return t.pf.ReadRun(at, id, n, buf)
+	})
 	if err != nil {
 		return nil, at, err
 	}
@@ -447,7 +487,7 @@ func (t *Tree) Checkpoint(at vtime.Ticks) (vtime.Ticks, error) {
 	}
 	if t.log != nil {
 		t.log.Append(wal.Record{Kind: wal.KindCheckpoint, Relation: t.cfg.Relation})
-		at, err = t.log.Force(at)
+		at, err = t.retryIO(at, t.log.Force)
 	}
 	return at, err
 }
@@ -550,6 +590,7 @@ func (t *Tree) BulkLoad(recs []kv.Record) error {
 	t.root = level[0].id
 	t.height = height
 	t.count = int64(len(recs))
+	t.commitDurableMeta()
 	return nil
 }
 

@@ -1,0 +1,256 @@
+// Package faultio is the deterministic fault-injection plane of the
+// simulated SSD stack. A Plane compiles a declarative fault Program into
+// an ssdio.Injector: every submission unit (one Sync call, one Psync
+// call, one PsyncGang member batch) is ruled on by the program's rules —
+// transient EIO with per-decision probability or scheduled vtime
+// windows, permanent per-file failure, latency spikes, and stuck-op
+// timeouts — with every outcome charged on the vtime clock.
+//
+// Decisions are pure functions of (seed, file, call kind, virtual time,
+// request shape) via a splitmix64 hash, never of shared generator state,
+// so concurrent goroutine schedules cannot reorder fault outcomes and
+// runs stay byte-reproducible.
+package faultio
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/ssdio"
+	"repro/internal/vtime"
+)
+
+// Kind enumerates the injected fault classes.
+type Kind int
+
+const (
+	// Transient fails the unit once with an EIO-like error; an immediate
+	// retry re-rolls the dice (at a new vtime, so a new hash).
+	Transient Kind = iota
+	// Permanent fails the unit and marks the file dead: every later unit
+	// on that file fails permanently too.
+	Permanent
+	// Latency completes the unit successfully after an extra Delay.
+	Latency
+	// Stuck blocks the unit for Delay (the caller's timeout window) and
+	// then fails it transiently — a hung op that was given up on.
+	Stuck
+)
+
+// String names the kind for errors and stats.
+func (k Kind) String() string {
+	switch k {
+	case Transient:
+		return "transient"
+	case Permanent:
+		return "permanent"
+	case Latency:
+		return "latency"
+	case Stuck:
+		return "stuck"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// defaultStuckDelay is the hang charged by a Stuck rule with no explicit
+// delay.
+const defaultStuckDelay = 10 * vtime.Millisecond
+
+// Rule is one declarative fault clause. All set fields must match for
+// the rule to be considered; a zero field matches anything.
+type Rule struct {
+	// File selects by file name: exact, "prefix*" glob, or "" for any.
+	File string
+	// Call selects the submission kind: ssdio.CallSync, CallPsync,
+	// CallGang, or "" for any.
+	Call string
+	// From/Until bound the active vtime window [From, Until); Until 0
+	// means no upper bound.
+	From, Until vtime.Ticks
+	// Kind is the fault class injected when the rule fires.
+	Kind Kind
+	// P is the per-decision firing probability; 0 means always (a
+	// scheduled window rather than a probabilistic fault).
+	P float64
+	// Delay is the latency-spike length (Latency), the hang before the
+	// timeout error (Stuck), or extra blocked time on a failure.
+	Delay vtime.Ticks
+}
+
+// matches reports whether the rule applies to this decision at all.
+func (r Rule) matches(file, call string, at vtime.Ticks) bool {
+	if r.Call != "" && r.Call != call {
+		return false
+	}
+	if at < r.From || (r.Until > 0 && at >= r.Until) {
+		return false
+	}
+	switch {
+	case r.File == "":
+	case strings.HasSuffix(r.File, "*"):
+		if !strings.HasPrefix(file, strings.TrimSuffix(r.File, "*")) {
+			return false
+		}
+	default:
+		if file != r.File {
+			return false
+		}
+	}
+	return true
+}
+
+// Program is a seed plus an ordered rule list: the first error-kind rule
+// that fires wins; latency rules accumulate instead of terminating.
+type Program struct {
+	Seed  uint64
+	Rules []Rule
+}
+
+// Stats counts injected outcomes per kind plus dead files.
+type Stats struct {
+	Transient int64
+	Permanent int64
+	Latency   int64
+	Stuck     int64
+	DeadFiles int
+}
+
+// Plane is a compiled, stateful fault injector for one ssdio.Space.
+type Plane struct {
+	seed  uint64
+	rules []Rule
+
+	mu    sync.Mutex
+	dead  map[string]bool // guarded by mu — files failed permanently
+	stats Stats           // guarded by mu
+}
+
+// Plane implements ssdio.Injector.
+var _ ssdio.Injector = (*Plane)(nil)
+
+// New compiles a Program into a Plane.
+func New(p Program) *Plane {
+	rules := make([]Rule, len(p.Rules))
+	copy(rules, p.Rules)
+	return &Plane{seed: p.Seed, rules: rules, dead: make(map[string]bool)}
+}
+
+// Stats snapshots the injection counters.
+func (pl *Plane) Stats() Stats {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	s := pl.stats
+	s.DeadFiles = len(pl.dead)
+	return s
+}
+
+// Revive clears a file's permanent-failure mark (the simulated drive
+// slice was replaced); Heal tests use it to let recovery succeed.
+func (pl *Plane) Revive(file string) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	delete(pl.dead, file)
+}
+
+// Decide implements ssdio.Injector: one deterministic ruling per
+// submission unit.
+func (pl *Plane) Decide(file, call string, at vtime.Ticks, reqs []ssdio.Req) ssdio.FaultDecision {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.dead[file] {
+		pl.stats.Permanent++
+		return ssdio.FaultDecision{Err: &FaultError{Kind: Permanent, File: file, Call: call, At: at}}
+	}
+	var delay vtime.Ticks
+	for i, r := range pl.rules {
+		if !r.matches(file, call, at) || !pl.fires(r, i, file, call, at, reqs) {
+			continue
+		}
+		switch r.Kind {
+		case Transient:
+			pl.stats.Transient++
+			return ssdio.FaultDecision{
+				Err:   &FaultError{Kind: Transient, File: file, Call: call, At: at},
+				Delay: delay + r.Delay,
+			}
+		case Permanent:
+			pl.dead[file] = true
+			pl.stats.Permanent++
+			return ssdio.FaultDecision{
+				Err:   &FaultError{Kind: Permanent, File: file, Call: call, At: at},
+				Delay: delay + r.Delay,
+			}
+		case Latency:
+			pl.stats.Latency++
+			delay += r.Delay
+		case Stuck:
+			pl.stats.Stuck++
+			d := r.Delay
+			if d == 0 {
+				d = defaultStuckDelay
+			}
+			return ssdio.FaultDecision{
+				Err:   &FaultError{Kind: Stuck, File: file, Call: call, At: at},
+				Delay: delay + d,
+			}
+		}
+	}
+	return ssdio.FaultDecision{Delay: delay}
+}
+
+// fires rolls the rule's deterministic dice for this decision.
+func (pl *Plane) fires(r Rule, idx int, file, call string, at vtime.Ticks, reqs []ssdio.Req) bool {
+	if r.P <= 0 || r.P >= 1 {
+		return true
+	}
+	h := pl.seed ^ fnv64(file) ^ fnv64(call) ^ uint64(at) ^ uint64(idx)*0x9e3779b97f4a7c15
+	if len(reqs) > 0 {
+		h ^= uint64(reqs[0].Off)<<32 ^ uint64(len(reqs))
+	}
+	h = splitmix64(h)
+	return float64(h>>11)/float64(1<<53) < r.P
+}
+
+// splitmix64 is the finalizer of the splitmix64 generator: a bijective
+// avalanche over 64 bits, enough to decorrelate adjacent vtimes.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fnv64 hashes a string (FNV-1a).
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// FaultError is one injected failure. Transient and Stuck faults carry
+// the TransientIO marker that retry layers (core.IsTransientIO,
+// ssdio.PartialGangError) classify on.
+type FaultError struct {
+	Kind Kind
+	File string
+	Call string
+	At   vtime.Ticks
+}
+
+// ErrInjected tags every FaultError for errors.Is.
+var ErrInjected = errors.New("faultio: injected fault")
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("faultio: %s fault on %s (%s) at %s", e.Kind, e.File, e.Call, e.At)
+}
+
+// Unwrap lets errors.Is(err, ErrInjected) identify injected faults.
+func (e *FaultError) Unwrap() error { return ErrInjected }
+
+// TransientIO reports whether a retry of the failed unit may succeed.
+func (e *FaultError) TransientIO() bool { return e.Kind == Transient || e.Kind == Stuck }

@@ -1,0 +1,216 @@
+package faultio
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/flashsim"
+	"repro/internal/ssdio"
+	"repro/internal/vtime"
+)
+
+func newSpace(t *testing.T) *ssdio.Space {
+	t.Helper()
+	cfg, err := flashsim.ProfileByName("p300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := flashsim.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ssdio.NewSpace(dev)
+}
+
+func TestTransientWindow(t *testing.T) {
+	sp := newSpace(t)
+	f, err := sp.Create("data", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.SetInjector(New(Program{Rules: []Rule{
+		{Kind: Transient, File: "data", From: 100, Until: 200},
+	}}))
+	buf := make([]byte, 512)
+	// Inside the window every call fails transiently.
+	_, err = f.Psync(150, []ssdio.Req{{Op: flashsim.Write, Off: 0, Buf: buf}})
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Kind != Transient || !fe.TransientIO() {
+		t.Fatalf("want transient FaultError inside window, got %v", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("FaultError should unwrap to ErrInjected")
+	}
+	// Outside the window the plane is transparent.
+	if _, err := f.Psync(250, []ssdio.Req{{Op: flashsim.Write, Off: 0, Buf: buf}}); err != nil {
+		t.Fatalf("outside window: %v", err)
+	}
+}
+
+func TestPermanentMarksFileDead(t *testing.T) {
+	sp := newSpace(t)
+	f, err := sp.Create("data", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := New(Program{Rules: []Rule{
+		{Kind: Permanent, File: "data", From: 100, Until: 101},
+	}}) // fires only in a 1ns window...
+	sp.SetInjector(pl)
+	buf := make([]byte, 512)
+	if _, err := f.Sync(100, ssdio.Req{Op: flashsim.Write, Buf: buf}); err == nil {
+		t.Fatal("want permanent failure at t=100")
+	}
+	// ...but the file stays dead long after the window closed.
+	_, err = f.Sync(10_000, ssdio.Req{Op: flashsim.Write, Buf: buf})
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Kind != Permanent || fe.TransientIO() {
+		t.Fatalf("want permanent FaultError after window, got %v", err)
+	}
+	if st := pl.Stats(); st.Permanent != 2 || st.DeadFiles != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	pl.Revive("data")
+	if _, err := f.Sync(20_000, ssdio.Req{Op: flashsim.Write, Buf: buf}); err != nil {
+		t.Fatalf("after Revive: %v", err)
+	}
+}
+
+func TestLatencyAndStuckChargeVtime(t *testing.T) {
+	sp := newSpace(t)
+	f, err := sp.Create("data", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	base, err := f.Psync(0, []ssdio.Req{{Op: flashsim.Write, Off: 0, Buf: buf}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.SetInjector(New(Program{Rules: []Rule{
+		{Kind: Latency, Delay: 5 * vtime.Millisecond},
+	}}))
+	slow, err := f.Psync(0, []ssdio.Req{{Op: flashsim.Write, Off: 0, Buf: buf}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := slow - base; got != 5*vtime.Millisecond {
+		t.Fatalf("latency spike charged %v, want 5ms", got)
+	}
+	sp.SetInjector(New(Program{Rules: []Rule{
+		{Kind: Stuck, Delay: 7 * vtime.Millisecond},
+	}}))
+	done, err := f.Psync(0, []ssdio.Req{{Op: flashsim.Write, Off: 0, Buf: buf}})
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Kind != Stuck || !fe.TransientIO() {
+		t.Fatalf("want stuck FaultError, got %v", err)
+	}
+	if done != 7*vtime.Millisecond {
+		t.Fatalf("stuck op returned at %v, want the 7ms timeout", done)
+	}
+}
+
+func TestPartialGang(t *testing.T) {
+	sp := newSpace(t)
+	a, err := sp.Create("a", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sp.Create("b", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.SetInjector(New(Program{Rules: []Rule{
+		{Kind: Transient, File: "b", Call: ssdio.CallGang},
+	}}))
+	wa := []byte{1, 2, 3, 4}
+	wb := []byte{5, 6, 7, 8}
+	_, err = ssdio.PsyncGang(0, []ssdio.GangBatch{
+		{F: a, Reqs: []ssdio.Req{{Op: flashsim.Write, Off: 0, Buf: wa}}},
+		{F: b, Reqs: []ssdio.Req{{Op: flashsim.Write, Off: 0, Buf: wb}}},
+	})
+	var pge *ssdio.PartialGangError
+	if !errors.As(err, &pge) {
+		t.Fatalf("want PartialGangError, got %v", err)
+	}
+	if pge.Landed != 1 || len(pge.Faults) != 1 || pge.Faults[0].Batch != 1 || pge.Faults[0].File != "b" {
+		t.Fatalf("partial gang shape: %+v", pge)
+	}
+	if !pge.TransientIO() {
+		t.Fatal("all-transient partial gang should classify transient")
+	}
+	// Batch a landed, batch b was never applied.
+	got := make([]byte, 4)
+	if err := a.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(wa) {
+		t.Fatalf("landed batch contents: %v", got)
+	}
+	if err := b.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "\x00\x00\x00\x00" {
+		t.Fatalf("failed batch must not touch contents: %v", got)
+	}
+}
+
+func TestDeterministicProbability(t *testing.T) {
+	run := func() []bool {
+		pl := New(Program{Seed: 7, Rules: []Rule{{Kind: Transient, P: 0.5}}})
+		outs := make([]bool, 0, 64)
+		for at := vtime.Ticks(0); at < 64; at++ {
+			d := pl.Decide("f", ssdio.CallPsync, at, []ssdio.Req{{Off: 0, Buf: make([]byte, 1)}})
+			outs = append(outs, d.Err != nil)
+		}
+		return outs
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identical runs", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d times; hash looks degenerate", fired, len(a))
+	}
+}
+
+func TestParse(t *testing.T) {
+	p, err := Parse(`
+		seed=42
+		# WAL gang forces flake for 40ms
+		transient file=pio-1-wal-* call=gang p=0.2 from=10ms until=50ms
+		latency delay=200us p=0.1; stuck call=psync delay=5ms
+		permanent file=pio-1-shard-2 from=30ms
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || len(p.Rules) != 4 {
+		t.Fatalf("parsed %+v", p)
+	}
+	r := p.Rules[0]
+	if r.Kind != Transient || r.File != "pio-1-wal-*" || r.Call != ssdio.CallGang ||
+		r.P != 0.2 || r.From != 10*vtime.Millisecond || r.Until != 50*vtime.Millisecond {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	if p.Rules[1].Delay != 200*vtime.Microsecond || p.Rules[2].Delay != 5*vtime.Millisecond {
+		t.Fatalf("durations: %+v", p.Rules[1:3])
+	}
+	for _, bad := range []string{
+		"flaky file=x",
+		"transient p=1.5",
+		"latency p=0.1",
+		"transient call=fsync",
+		"seed=42 extra",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) should fail", bad)
+		}
+	}
+}

@@ -32,6 +32,7 @@ var determinismScope = scopedTo("determinism",
 	"repro/internal/core",
 	"repro/internal/bench",
 	"repro/internal/flashsim",
+	"repro/internal/faultio",
 	"repro/internal/scenario",
 	"repro/internal/vtime",
 )

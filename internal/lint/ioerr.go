@@ -39,6 +39,7 @@ var ioSourcePkgs = map[string]bool{
 	"repro/internal/ssdio":    true,
 	"repro/internal/wal":      true,
 	"repro/internal/pagefile": true,
+	"repro/internal/faultio":  true,
 }
 
 // ioErrState caches the program-wide source set, keyed by function ID.

@@ -44,6 +44,7 @@ var lockOrderScope = scopedTo("lockorder",
 	"repro/internal/wal",
 	"repro/internal/ssdio",
 	"repro/internal/pagefile",
+	"repro/internal/faultio",
 )
 
 // lockOrderState is the cached whole-program result: diagnostics keyed by

@@ -68,6 +68,23 @@ func boundRecordResolved(l *log, p *part, at int64) {
 	p.publish(table{epoch: 3})
 }
 
+func retryIO(at int64, op func(int64) int64) int64 { return op(at) }
+
+// retryWrappedForce: a force threaded through a retry helper as a
+// method value still counts as a force for the protocol scan.
+func retryWrappedForce(src, dst *log, p *part, at int64) {
+	at = retryIO(at, dst.Force)
+	src.Append(Record{Kind: KindKeyMoved})
+	at = retryIO(at, src.Force)
+	p.publish(table{epoch: 4})
+}
+
+func retryWrappedNonForce(l *log, at int64) {
+	retryIO(at, nil)
+	l.Append(Record{Kind: KindKeyMoved}) // want `KeyMoved appended without a dominating Force`
+	l.Force(at)
+}
+
 func escapeHatch(l *log, at int64) {
 	//lint:ignore walorder fixture for the suppression path
 	l.Append(Record{Kind: KindKeyMoved})

@@ -15,8 +15,10 @@ import (
 //     durable), so appending it without a dominating Force/ForceGroup/
 //     forceLogs call earlier in the function is flagged;
 //   - FlushEnd, MigrationEnd, and KeyMoved records are commit points:
-//     after appending one, the function must force the log (directly or
-//     via the ganged forceLogs) before returning;
+//     after appending one, the function must force the log (directly,
+//     via the ganged forceLogs, or as a force method value threaded
+//     through a retry helper like retryIO(at, log.Force)) before
+//     returning;
 //   - a routing snapshot or frontier must not be published (publish /
 //     atomic Store) while such a record is appended but not yet forced —
 //     readers would act on routing the log cannot yet justify.
@@ -166,7 +168,7 @@ func compositeKind(e ast.Expr) string {
 func (w *walWalker) call(call *ast.CallExpr) {
 	name := calleeName(call)
 	switch {
-	case forceCallees[name]:
+	case forceCallees[name] || w.wrappedForce(call):
 		w.forceSeen = true
 		w.pending = w.pending[:0]
 	case name == "Append" && len(call.Args) >= 1:
@@ -185,6 +187,19 @@ func (w *walWalker) call(call *ast.CallExpr) {
 				"routing state published while %s is appended but not forced (force the log before publishing)", p.kind)
 		}
 	}
+}
+
+// wrappedForce recognizes a force threaded through a retry helper —
+// retryIO(at, log.Force) passes the force as a method value the helper
+// invokes (possibly several times; WAL forces resubmit the whole
+// unforced tail, so a retried force is still a force).
+func (w *walWalker) wrappedForce(call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		if sel, ok := ast.Unparen(a).(*ast.SelectorExpr); ok && forceCallees[sel.Sel.Name] {
+			return true
+		}
+	}
+	return false
 }
 
 func (w *walWalker) appendKind(arg ast.Expr) string {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/faultio"
 	"repro/internal/flashsim"
 	"repro/internal/kv"
 	"repro/internal/pagefile"
@@ -38,6 +39,10 @@ type Config struct {
 	Seed int64
 	// Shards/Threads override the scenario's defaults when positive.
 	Shards, Threads int
+	// FaultProgram, when non-empty, overrides the scenario's Faults
+	// program: a faultio program installed on the I/O plane after the
+	// bulk load. A program without an explicit seed is seeded from Seed.
+	FaultProgram string
 }
 
 // DefaultConfig scales like bench.DefaultScale.
@@ -84,6 +89,9 @@ type PhaseResult struct {
 	Flushes, GangSubmits int64
 	// GCStalls counts aging-triggered garbage collections hit.
 	GCStalls int64
+	// IORetries counts transient-fault I/O retries charged in the phase
+	// (zero on a clean plane).
+	IORetries int64
 	// RedoneEntries/RecoverMS report the crash-restart replay (zero for
 	// phases without CrashRestart).
 	RedoneEntries int64
@@ -106,6 +114,12 @@ type Result struct {
 	TotalMigrations, TotalMigratedKeys int64
 	// TunedL/TunedO are the last eq.-(10) recommendation observed.
 	TunedL, TunedO int
+	// FaultProgram is the fault program the run installed ("" for a
+	// clean plane); IORetries/IORetriesExhausted aggregate the transient
+	// retry activity it caused. A run that ends with a shard still
+	// quarantined fails outright, like one that lost a key.
+	FaultProgram                  string
+	IORetries, IORetriesExhausted int64
 	// End is the scenario makespan.
 	End vtime.Ticks
 }
@@ -121,6 +135,7 @@ type engine struct {
 	fr      *core.Forest
 	recs    []kv.Record
 	stripes []*stripeState
+	faults  string // resolved fault program ("" = clean plane)
 
 	expected int64 // live keys the run has committed to
 
@@ -200,6 +215,7 @@ func Run(sc Scenario, cfg Config) (*Result, error) {
 		pr.Flushes = postStats.Tree.Flushes - preStats.Tree.Flushes
 		pr.GangSubmits = postStats.GangSubmits - preStats.GangSubmits
 		pr.GCStalls = postDev.GCStalls - preDev.GCStalls
+		pr.IORetries = postStats.IORetries - preStats.IORetries
 		res.Phases = append(res.Phases, pr)
 		now = end
 	}
@@ -216,6 +232,12 @@ func Run(sc Scenario, cfg Config) (*Result, error) {
 	res.TotalMigrations = st.Migrations
 	res.TotalMigratedKeys = st.MigratedKeys
 	res.TunedL, res.TunedO = e.tunedL, e.tunedO
+	res.FaultProgram = e.faults
+	res.IORetries = st.IORetries
+	res.IORetriesExhausted = st.IORetriesExhausted
+	if st.QuarantinedShards > 0 {
+		return nil, fmt.Errorf("scenario %s: run ended with %d shards quarantined", sc.Name, st.QuarantinedShards)
+	}
 	res.End = now
 	return res, nil
 }
@@ -308,6 +330,23 @@ func build(sc Scenario, cfg Config) (*engine, error) {
 	}
 	if err := fr.BulkLoad(e.recs); err != nil {
 		return nil, err
+	}
+	// Faults go live only now: the bulk load and file creation above ran
+	// on a clean plane, so an injected program perturbs serving, not
+	// setup.
+	e.faults = cfg.FaultProgram
+	if e.faults == "" {
+		e.faults = sc.Faults
+	}
+	if e.faults != "" {
+		prog, err := faultio.Parse(e.faults)
+		if err != nil {
+			return nil, err
+		}
+		if prog.Seed == 0 {
+			prog.Seed = uint64(cfg.Seed)
+		}
+		space.SetInjector(faultio.New(prog))
 	}
 	e.fr = fr
 	e.expected = int64(n)
@@ -467,13 +506,24 @@ func (e *engine) runPhase(base vtime.Ticks, ops []workload.Op) (vtime.Ticks, []v
 	return end, lat, retunes, nil
 }
 
+// defaultDrainBudget bounds the adaptation thread's per-poll migration
+// drain: a stuck (or fault-injected) migration yields back to the poll
+// loop after this much charged vtime instead of freezing it, and the
+// next poll resumes the drain where it stopped. Scenarios override it
+// via Adapt.Policy.DrainBudget (negative = unbounded).
+const defaultDrainBudget = 20 * vtime.Millisecond
+
 // adaptTick is one adaptation poll: let AutoRebalance act on the shard
 // load deltas, then re-run the eq.-(10) tuner on the observed insert
 // ratio and live entry count and apply a changed OPQ budget to the
 // forest. Returns the time the adaptation work finished and the number
 // of applied retunes (0 or 1).
 func (e *engine) adaptTick(now vtime.Ticks) (vtime.Ticks, int, error) {
-	moved, _, _, done, err := e.fr.AutoRebalance(now, e.sc.Adapt.Policy)
+	pol := e.sc.Adapt.Policy
+	if pol.DrainBudget == 0 {
+		pol.DrainBudget = defaultDrainBudget
+	}
+	moved, _, _, done, err := e.fr.AutoRebalance(now, pol)
 	if err != nil {
 		return done, 0, err
 	}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/faultio"
 	"repro/internal/flashsim"
 	"repro/internal/vtime"
 )
@@ -74,7 +75,10 @@ type Adapt struct {
 	// Interval is the adaptation poll period in virtual time; 0 disables
 	// the adaptation thread entirely.
 	Interval vtime.Ticks
-	// Policy drives Forest.AutoRebalance at each poll.
+	// Policy drives Forest.AutoRebalance at each poll. A zero DrainBudget
+	// gets the engine's default bound (so a stuck or fault-injected
+	// migration cannot freeze the poll loop); a negative one drains
+	// unbounded.
 	Policy core.RebalancePolicy
 	// Retune, when set, re-runs costmodel.TuneForest at each poll on the
 	// observed insert ratio and live entry count (recalibrating when the
@@ -96,6 +100,13 @@ type Scenario struct {
 	Threads int
 	// Adapt configures the adaptation loop.
 	Adapt Adapt
+	// Faults, when non-empty, is a faultio fault program (clauses like
+	// "transient call=gang p=0.01", separated by ';' or newlines)
+	// installed on the simulated I/O plane after the bulk load, so the
+	// injected faults hit live traffic but not setup. A program without
+	// an explicit seed is seeded from the run's Config.Seed.
+	// Config.FaultProgram overrides it per run.
+	Faults string
 	// Phases run in order.
 	Phases []Phase
 }
@@ -110,6 +121,11 @@ func (sc *Scenario) Validate() error {
 	}
 	if len(sc.Phases) == 0 {
 		return fmt.Errorf("scenario %s: no phases", sc.Name)
+	}
+	if sc.Faults != "" {
+		if _, err := faultio.Parse(sc.Faults); err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
 	}
 	seen := make(map[string]bool)
 	for _, ph := range sc.Phases {

@@ -211,6 +211,38 @@ func TestRunRebalances(t *testing.T) {
 	}
 }
 
+// TestRunChaosAbsorbsFaults checks the chaos scenario's fault program
+// actually fires and is fully absorbed by retry/backoff: retries are
+// recorded, no retry budget runs dry (Run fails outright if a shard ends
+// quarantined), and no committed key is lost.
+func TestRunChaosAbsorbsFaults(t *testing.T) {
+	res, err := Run(Chaos(), tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultProgram == "" {
+		t.Fatal("chaos run resolved no fault program")
+	}
+	if res.IORetries == 0 {
+		t.Fatal("fault program injected nothing: no transient retries recorded")
+	}
+	if res.IORetriesExhausted != 0 {
+		t.Fatalf("%d retry budgets exhausted; chaos probabilities are meant to stay below exhaustion", res.IORetriesExhausted)
+	}
+	if res.FinalKeys != res.ExpectedKeys {
+		t.Fatalf("chaos run lost keys: final %d, expected %d", res.FinalKeys, res.ExpectedKeys)
+	}
+	var restart bool
+	for _, pr := range res.Phases {
+		if pr.RedoneEntries > 0 {
+			restart = true
+		}
+	}
+	if !restart {
+		t.Fatal("chaos run never crash-restarted")
+	}
+}
+
 func TestRunRejectsInvalid(t *testing.T) {
 	if _, err := Run(Scenario{}, tinyConfig()); err == nil {
 		t.Fatal("Run accepted an invalid scenario")

@@ -20,7 +20,7 @@ func Named(name string) (Scenario, error) {
 
 // All returns the named scenario suite in a fixed order.
 func All() []Scenario {
-	return []Scenario{Diurnal(), SkewDrift(), BurstCrash()}
+	return []Scenario{Diurnal(), SkewDrift(), BurstCrash(), Chaos()}
 }
 
 // adaptEvery is the default adaptation poll period: long enough that a
@@ -94,6 +94,23 @@ func SkewDrift() Scenario {
 			{Name: "high", Tenants: []Tenant{heavy(5), bg(1)}},
 		},
 	}
+}
+
+// Chaos replays the diurnal rotation on a fault-injected I/O plane and
+// crash-restarts before the final phase, so recovery itself replays
+// through the faulty plane. The seeded program transiently fails about
+// one WAL force or psync batch in 500 and one gang member in 250 — far
+// below the retry budget's exhaustion threshold — so every fault must
+// be absorbed by retry/backoff: the run completes with zero quarantined
+// shards and no lost key, and the gated metrics price the retry
+// overhead.
+func Chaos() Scenario {
+	sc := Diurnal()
+	sc.Name = "chaos"
+	sc.Title = "Diurnal rotation under a transient-fault I/O plane"
+	sc.Faults = "seed=7; transient call=sync p=0.002; transient call=psync p=0.002; transient call=gang p=0.004"
+	sc.Phases[len(sc.Phases)-1].CrashRestart = true
+	return sc
 }
 
 // BurstCrash is the durability gauntlet: cold uniform reads, then a

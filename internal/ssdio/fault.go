@@ -1,0 +1,110 @@
+// Fault-injection hook of the I/O plane. A Space optionally carries an
+// Injector that rules on every submission unit BEFORE any file contents
+// are touched: a failed unit is neither applied nor submitted to the
+// device, so the durable state it leaves behind is exactly the state a
+// crash immediately before the write would leave — which is what lets
+// WAL recovery reasoning carry over unchanged to injected faults.
+package ssdio
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/vtime"
+)
+
+// Call kinds passed to Injector.Decide.
+const (
+	CallSync  = "sync"  // File.Sync: one blocking request
+	CallPsync = "psync" // File.Psync: one batch, one file
+	CallGang  = "gang"  // PsyncGang: one decision per member batch
+)
+
+// FaultDecision is an injector's ruling on one submission unit.
+type FaultDecision struct {
+	// Err, when non-nil, fails the unit: contents are not applied, nothing
+	// is submitted, and the caller sees Err after Delay ticks of blocking.
+	Err error
+	// Delay is extra blocked time on the vtime clock: a latency spike when
+	// Err is nil, the hang before the failure surfaces when Err is set.
+	Delay vtime.Ticks
+}
+
+// Injector intercepts submissions on a Space. Decide is consulted once
+// per Sync call, once per Psync call, and once per member batch of a
+// PsyncGang, always before any file contents are touched.
+//
+// Implementations must be deterministic functions of their own
+// configuration and the call parameters (file, call kind, virtual time,
+// request shape) so simulated runs stay byte-reproducible, and must not
+// call back into the I/O plane.
+type Injector interface {
+	Decide(file string, call string, at vtime.Ticks, reqs []Req) FaultDecision
+}
+
+// SetInjector installs (or, with nil, removes) the Space's fault
+// injector. With no injector the I/O plane behaves — and costs —
+// exactly as before the hook existed.
+func (s *Space) SetInjector(inj Injector) {
+	if inj == nil {
+		s.inj.Store(nil)
+		return
+	}
+	s.inj.Store(&injectorBox{inj: inj})
+}
+
+// injectorBox wraps the interface so a nil injector and "no injector"
+// both load as nil.
+type injectorBox struct{ inj Injector }
+
+// injector returns the active injector, or nil.
+func (s *Space) injector() Injector {
+	if b := s.inj.Load(); b != nil {
+		return b.inj
+	}
+	return nil
+}
+
+// GangFault describes one failed member batch of a PsyncGang submission.
+type GangFault struct {
+	Batch int    // index into the batches slice passed to PsyncGang
+	File  string // name of the batch's file
+	Err   error  // the injected failure
+}
+
+// PartialGangError reports a gang submission in which some member
+// batches landed on the device and others failed. Landed batches were
+// applied and submitted as one psync call; the batches listed in Faults
+// (ascending by Batch) were neither applied nor submitted.
+type PartialGangError struct {
+	Landed int // count of batches applied and submitted
+	Faults []GangFault
+}
+
+func (e *PartialGangError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ssdio: partial gang: %d batches landed, %d failed:", e.Landed, len(e.Faults))
+	for _, f := range e.Faults {
+		fmt.Fprintf(&b, " [%d %s: %v]", f.Batch, f.File, f.Err)
+	}
+	return b.String()
+}
+
+// TransientIO reports whether every failed batch carries a transient
+// fault, i.e. whether resubmitting the failed batches may succeed.
+func (e *PartialGangError) TransientIO() bool {
+	for _, f := range e.Faults {
+		if !transientErr(f.Err) {
+			return false
+		}
+	}
+	return len(e.Faults) > 0
+}
+
+// transientErr probes err for the TransientIO marker carried by injected
+// transient faults (see internal/faultio). Unknown errors are permanent.
+func transientErr(err error) bool {
+	var t interface{ TransientIO() bool }
+	return errors.As(err, &t) && t.TransientIO()
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/flashsim"
 	"repro/internal/vtime"
@@ -56,6 +57,11 @@ type Stats struct {
 // the simulated SSD. It is safe for concurrent use.
 type Space struct {
 	dev *flashsim.Device
+
+	// inj is the active fault injector (see fault.go); nil loads mean the
+	// plane is fault-free and every path below costs exactly what it did
+	// before the hook existed.
+	inj atomic.Pointer[injectorBox]
 
 	mu    sync.Mutex
 	next  int64            // guarded by mu
@@ -212,6 +218,23 @@ func (f *File) Psync(at vtime.Ticks, reqs []Req) (vtime.Ticks, error) {
 	if len(reqs) == 0 {
 		return at, nil
 	}
+	subAt := at
+	if inj := f.space.injector(); inj != nil {
+		d := inj.Decide(f.name, CallPsync, at, reqs)
+		if d.Err != nil {
+			// The call blocked (and is charged) like a real submission,
+			// but no contents were applied and nothing reached the device:
+			// durable state is as if the machine crashed before the write.
+			f.mu.Lock()
+			f.stats.PsyncCalls++
+			f.stats.PsyncReqs += int64(len(reqs))
+			f.stats.CtxSwitches += 2
+			f.stats.IOTime += d.Delay
+			f.mu.Unlock()
+			return at + d.Delay, d.Err
+		}
+		subAt += d.Delay
+	}
 	f.mu.Lock()
 	devReqs := make([]flashsim.Request, len(reqs))
 	for i, r := range reqs {
@@ -229,7 +252,7 @@ func (f *File) Psync(at vtime.Ticks, reqs []Req) (vtime.Ticks, error) {
 	f.stats.CtxSwitches += 2
 	f.mu.Unlock()
 
-	_, done := f.space.dev.Submit(at, devReqs)
+	_, done := f.space.dev.Submit(subAt, devReqs)
 
 	f.mu.Lock()
 	f.stats.IOTime += done - at
@@ -253,26 +276,56 @@ type GangBatch struct {
 // time. All files must belong to the same Space.
 func PsyncGang(at vtime.Ticks, batches []GangBatch) (vtime.Ticks, error) {
 	var total int
+	var space *Space
 	for _, b := range batches {
+		if len(b.Reqs) == 0 {
+			continue
+		}
 		total += len(b.Reqs)
+		if space == nil {
+			space = b.F.space
+		} else if b.F.space != space {
+			return at, fmt.Errorf("ssdio: psync gang spans spaces (%q)", b.F.name)
+		}
 	}
 	if total == 0 {
 		return at, nil
 	}
-	// Validate every batch before touching any file contents, so a bad
-	// request leaves the whole gang un-applied (all-or-nothing).
+
+	// Fault decisions come first, one per member batch, before any file
+	// contents are touched: a failed batch is neither applied nor
+	// submitted, leaving its file exactly as a crash before the write
+	// would. The longest member delay stalls the whole blocking call.
+	var skip []bool
+	var faults []GangFault
+	var delay vtime.Ticks
+	if inj := space.injector(); inj != nil {
+		skip = make([]bool, len(batches))
+		for i, b := range batches {
+			if len(b.Reqs) == 0 {
+				continue
+			}
+			d := inj.Decide(b.F.name, CallGang, at, b.Reqs)
+			if d.Delay > delay {
+				delay = d.Delay
+			}
+			if d.Err != nil {
+				skip[i] = true
+				faults = append(faults, GangFault{Batch: i, File: b.F.name, Err: d.Err})
+			}
+		}
+	}
+
+	// Validate every surviving batch before touching any file contents,
+	// so a bad request leaves the whole gang un-applied (all-or-nothing).
 	devReqs := make([]flashsim.Request, 0, total)
-	var space *Space
-	for _, b := range batches {
+	landed := 0
+	for i, b := range batches {
 		f := b.F
-		if len(b.Reqs) == 0 {
+		if len(b.Reqs) == 0 || (skip != nil && skip[i]) {
 			continue
 		}
-		if space == nil {
-			space = f.space
-		} else if f.space != space {
-			return at, fmt.Errorf("ssdio: psync gang spans spaces (%q)", f.name)
-		}
+		landed++
 		f.mu.Lock()
 		for _, r := range b.Reqs {
 			if err := f.checkRange(r); err != nil {
@@ -283,8 +336,8 @@ func PsyncGang(at vtime.Ticks, batches []GangBatch) (vtime.Ticks, error) {
 		}
 		f.mu.Unlock()
 	}
-	for _, b := range batches {
-		if len(b.Reqs) == 0 {
+	for i, b := range batches {
+		if len(b.Reqs) == 0 || (skip != nil && skip[i]) {
 			continue
 		}
 		b.F.mu.Lock()
@@ -295,10 +348,15 @@ func PsyncGang(at vtime.Ticks, batches []GangBatch) (vtime.Ticks, error) {
 		b.F.mu.Unlock()
 	}
 
-	_, done := space.dev.Submit(at, devReqs)
+	done := at + delay
+	if len(devReqs) > 0 {
+		_, done = space.dev.Submit(at+delay, devReqs)
+	}
 
 	// The gang is one blocking call from one submitter; charge the
-	// call-level counters to the first contributing file.
+	// call-level counters to the first contributing file. Failed batches
+	// contribute no request counts — they never reached the device — but
+	// their delay is part of the blocked window.
 	for _, b := range batches {
 		if len(b.Reqs) == 0 {
 			continue
@@ -310,6 +368,9 @@ func PsyncGang(at vtime.Ticks, batches []GangBatch) (vtime.Ticks, error) {
 		b.F.mu.Unlock()
 		break
 	}
+	if len(faults) > 0 {
+		return done, &PartialGangError{Landed: landed, Faults: faults}
+	}
 	return done, nil
 }
 
@@ -318,6 +379,19 @@ func PsyncGang(at vtime.Ticks, batches []GangBatch) (vtime.Ticks, error) {
 // behaviour that prevents parallel processing from exploiting internal
 // parallelism on a shared file.
 func (f *File) Sync(at vtime.Ticks, r Req) (vtime.Ticks, error) {
+	subAt := at
+	if inj := f.space.injector(); inj != nil {
+		d := inj.Decide(f.name, CallSync, at, []Req{r})
+		if d.Err != nil {
+			f.mu.Lock()
+			f.stats.SyncCalls++
+			f.stats.CtxSwitches += 2
+			f.stats.IOTime += d.Delay
+			f.mu.Unlock()
+			return at + d.Delay, d.Err
+		}
+		subAt += d.Delay
+	}
 	f.mu.Lock()
 	if err := f.checkRange(r); err != nil {
 		f.mu.Unlock()
@@ -326,9 +400,9 @@ func (f *File) Sync(at vtime.Ticks, r Req) (vtime.Ticks, error) {
 	f.apply(r)
 	f.stats.SyncCalls++
 	f.stats.CtxSwitches += 2
-	start := at
+	start := subAt
 	if r.Op == flashsim.Write {
-		start = f.writeOrder.Acquire(at)
+		start = f.writeOrder.Acquire(subAt)
 	}
 	devReq := flashsim.Request{Op: r.Op, Offset: f.base + r.Off, Size: len(r.Buf)}
 	f.mu.Unlock()

@@ -337,6 +337,18 @@ func (l *Log) Force(at vtime.Ticks) (vtime.Ticks, error) {
 	return done, nil
 }
 
+// Unforced reports whether the log's tail holds appended-but-unforced
+// bytes (a not-yet-issued or failed force). Group-flush error handling
+// uses it to attribute a partial gang failure to exactly the members
+// whose records did not land — ForceGroup commits every member whose
+// write reached the device, so a surviving unforced tail marks a member
+// that failed.
+func (l *Log) Unforced() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.tail) > 0
+}
+
 // ForceGroup makes the tails of several logs durable in ONE blocking
 // device submission, via ssdio.PsyncGang: the group-commit primitive.
 // Where N per-shard Force calls cost N serial blocking writes, the gang
@@ -384,6 +396,28 @@ func ForceGroup(at vtime.Ticks, logs []*Log) (vtime.Ticks, int, error) {
 	}
 	done, err := ssdio.PsyncGang(at, batches)
 	if err != nil {
+		// A partial gang (injected faults) landed some member writes:
+		// commit those members' durable state — their bytes ARE on the
+		// device — so a retried ForceGroup naturally skips them (their
+		// tails are empty) and resubmits only the failed logs.
+		var pge *ssdio.PartialGangError
+		if errors.As(err, &pge) {
+			failed := make(map[int]bool, len(pge.Faults))
+			for _, f := range pge.Faults {
+				failed[f.Batch] = true
+			}
+			n := 0
+			for i, l := range members {
+				if failed[i] {
+					continue
+				}
+				n++
+				l.GangForces++
+				//lint:ignore guardedby every member's mu was acquired in the collection loop and is released by the deferred unlock
+				l.commitForce(reqs[i])
+			}
+			return done, n, err
+		}
 		return at, 0, err
 	}
 	for i, l := range members {
@@ -474,6 +508,45 @@ func (l *Log) Records() ([]Record, error) {
 		buf = buf[n:]
 	}
 	return out, nil
+}
+
+// RecordsTimed decodes the durable records like Records, but charges the
+// replay's read I/O on the vtime clock: the live byte range is read as
+// one psync call of page-granular requests, the shape a batched recovery
+// scan issues on a real device. Recovery and quarantine replay use it so
+// recovery phases stop looking free at scale.
+func (l *Log) RecordsTimed(at vtime.Ticks) ([]Record, vtime.Ticks, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.durable - l.head
+	if n <= 0 {
+		return nil, at, nil
+	}
+	buf := make([]byte, n)
+	var reqs []ssdio.Req
+	for off := int64(0); off < n; off += int64(l.pageSize) {
+		end := off + int64(l.pageSize)
+		if end > n {
+			end = n
+		}
+		reqs = append(reqs, ssdio.Req{Op: flashsim.Read, Off: l.head + off, Buf: buf[off:end]})
+	}
+	at, err := l.f.Psync(at, reqs)
+	if err != nil {
+		return nil, at, err
+	}
+	var out []Record
+	for len(buf) > 0 {
+		r, rn, err := unmarshal(buf)
+		if err != nil {
+			// Torn tail: the intact prefix is the recoverable log (see
+			// Records).
+			break
+		}
+		out = append(out, r)
+		buf = buf[rn:]
+	}
+	return out, at, nil
 }
 
 // Crash discards the volatile tail, simulating the loss of unforced

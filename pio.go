@@ -31,6 +31,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/faultio"
 	"repro/internal/flashsim"
 	"repro/internal/kv"
 	"repro/internal/pagefile"
@@ -98,6 +99,33 @@ func NewDeviceNamed(name string) (*Device, error) {
 // Stats returns device-level counters.
 func (d *Device) Stats() flashsim.Stats { return d.dev.Stats() }
 
+// FaultPlane is a compiled fault-injection program installed on a device;
+// see Device.InjectFaults.
+type FaultPlane = faultio.Plane
+
+// InjectFaults compiles a declarative fault program (see faultio.Parse
+// for the grammar, e.g. "transient call=gang p=0.01; permanent
+// file=pio-1-shard-2 from=5ms") and installs it on the device's I/O
+// plane. Failed submission units never touch file contents, so the
+// durable state equals a crash-before-write and WAL recovery reasoning
+// applies unchanged. Decisions are deterministic in (seed, file, call,
+// vtime, request shape): reruns are byte-reproducible. Returns the plane
+// for Stats and Revive.
+func (d *Device) InjectFaults(program string, seed uint64) (*FaultPlane, error) {
+	prog, err := faultio.Parse(program)
+	if err != nil {
+		return nil, err
+	}
+	prog.Seed = seed
+	pl := faultio.New(prog)
+	d.space.SetInjector(pl)
+	return pl, nil
+}
+
+// ClearFaults removes the device's fault injector; I/O behaves — and
+// costs — exactly as if the hook never existed.
+func (d *Device) ClearFaults() { d.space.SetInjector(nil) }
+
 // Options configure a PIO B-tree index.
 type Options struct {
 	// PageSize is the internal node / leaf segment size in bytes.
@@ -118,7 +146,13 @@ type Options struct {
 	WAL bool
 	// CapacityHint sizes the backing file (bytes); default 64MB.
 	CapacityHint int64
+	// Retry bounds the transient-I/O-fault retry loop (zero value =
+	// defaults: 4 retries, 50µs base backoff doubling to 2ms).
+	Retry RetryPolicy
 }
+
+// RetryPolicy bounds the transient-fault retry loop; see core.RetryPolicy.
+type RetryPolicy = core.RetryPolicy
 
 // DefaultOptions mirror the paper's Section 4.1 setup at repository scale.
 func DefaultOptions() Options {
@@ -166,6 +200,7 @@ func Open(dev *Device, opts Options) (*Index, error) {
 		SPeriod:     opts.SPeriod,
 		BCnt:        opts.BCnt,
 		BufferBytes: opts.BufferBytes,
+		Retry:       opts.Retry,
 	})
 	if err != nil {
 		return nil, err
@@ -376,6 +411,7 @@ func OpenForest(dev *Device, opts ForestOptions) (*Forest, error) {
 			SPeriod:     opts.SPeriod,
 			BCnt:        opts.BCnt,
 			BufferBytes: opts.BufferBytes,
+			Retry:       opts.Retry,
 		},
 		Logs:                 logs,
 		DisableLogGang:       opts.DisableLogGang,
@@ -484,6 +520,27 @@ func (fx *Forest) AutoRebalance(at Ticks, pol RebalancePolicy) (moved bool, from
 // Routing exposes the forest's routing table (epoch, committed move
 // rules, in-flight migration).
 func (fx *Forest) Routing() *core.RebalancingPartitioner { return fx.f.Routing() }
+
+// ErrShardQuarantined rejects writes addressed to a quarantined shard;
+// match with errors.Is. ErrInjected tags every fault the injection
+// plane produced, so callers can tell injected failures from organic
+// ones in mixed tests.
+var (
+	ErrShardQuarantined = core.ErrShardQuarantined
+	ErrInjected         = faultio.ErrInjected
+)
+
+// Quarantined returns the indexes of shards currently in read-only
+// degraded mode (writes rejected with ErrShardQuarantined; reads
+// served from the last committed state).
+func (fx *Forest) Quarantined() []int { return fx.f.Quarantined() }
+
+// Heal re-admits a quarantined shard: its log tail is forced, the shard
+// is rewound to the durable snapshot and the committed log replayed —
+// the crash-recovery procedure, minus the crash. Fails (and leaves the
+// shard fully offline) while the device keeps erroring; after the fault
+// clears (or FaultPlane.Revive) it restores full service.
+func (fx *Forest) Heal(at Ticks, shard int) (Ticks, error) { return fx.f.Heal(at, shard) }
 
 // Crash simulates a whole-forest crash: every shard's volatile state
 // (OPQ, LSMap, buffer pool, unforced log tails) is lost; the simulated
