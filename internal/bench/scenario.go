@@ -32,7 +32,8 @@ func ScenarioBench(sc scenario.Scenario, s Scale) ([]Table, error) {
 		ID:    "scenario_" + sc.Name,
 		Title: sc.Title,
 		Header: []string{"phase", "ops", "inserts", "kops/s", "mean(us)", "p95(us)", "p99(us)",
-			"migrations", "moved keys", "retunes", "opq pages", "gc stalls", "io retries", "redone", "recover(ms)"},
+			"migrations", "moved keys", "retunes", "opq pages", "gc stalls", "io retries",
+			"rejected", "probes", "heals", "evac chunks", "wd timeouts", "redone", "recover(ms)"},
 		Metrics: map[string]float64{},
 	}
 	for _, pr := range res.Phases {
@@ -49,6 +50,11 @@ func ScenarioBench(sc scenario.Scenario, s Scale) ([]Table, error) {
 			fmt.Sprintf("%d", pr.OPQBudgetPages),
 			fmt.Sprintf("%d", pr.GCStalls),
 			fmt.Sprintf("%d", pr.IORetries),
+			fmt.Sprintf("%d", pr.Rejected),
+			fmt.Sprintf("%d", pr.HealProbes),
+			fmt.Sprintf("%d", pr.AutoHeals),
+			fmt.Sprintf("%d", pr.EvacuatedChunks),
+			fmt.Sprintf("%d", pr.WatchdogTimeouts),
 			fmt.Sprintf("%d", pr.RedoneEntries),
 			fmt.Sprintf("%.2f", pr.RecoverMS),
 		)
@@ -58,10 +64,22 @@ func ScenarioBench(sc scenario.Scenario, s Scale) ([]Table, error) {
 	t.Metrics["total_migrated_keys"] = float64(res.TotalMigratedKeys)
 	t.Metrics["final_keys"] = float64(res.FinalKeys)
 	t.Metrics["io_retries"] = float64(res.IORetries)
+	t.Metrics["heal_probes"] = float64(res.HealProbes)
+	t.Metrics["auto_heals"] = float64(res.AutoHeals)
+	t.Metrics["evacuations"] = float64(res.Evacuations)
+	t.Metrics["evacuated_chunks"] = float64(res.EvacuatedChunks)
+	t.Metrics["watchdog_timeouts"] = float64(res.WatchdogTimeouts)
+	t.Metrics["rejected_ops"] = float64(res.Rejected)
+	t.Metrics["lost_uncommitted"] = float64(res.LostUncommitted)
 	if res.FaultProgram != "" {
 		t.Notes = append(t.Notes,
 			fmt.Sprintf("fault program: %q; %d transient retries absorbed (%d budgets exhausted)",
 				res.FaultProgram, res.IORetries, res.IORetriesExhausted))
+	}
+	if res.Evacuations > 0 {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("self-healing: %d probes, %d auto-heals, %d evacuations streamed %d chunks; %d ops rejected while degraded, %d uncommitted tail inserts lost",
+				res.HealProbes, res.AutoHeals, res.Evacuations, res.EvacuatedChunks, res.Rejected, res.LostUncommitted))
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d shards, %d threads, %d entries loaded, %d ops/phase",

@@ -37,10 +37,28 @@ func fmVal(k kv.Key) kv.Value { return kv.Value(k*7 + 3) }
 // wal0/wal1) the fault programs target.
 func newFaultForest(t *testing.T, retry RetryPolicy) (*Forest, *ssdio.Space) {
 	t.Helper()
+	return newFaultForestCfg(t, retry, HealPolicy{}, EvacuationPolicy{})
+}
+
+// newFaultForestCfg is newFaultForest with explicit self-healing
+// policies (the zero values mean "enabled with defaults"; the healing
+// suite shortens the evacuation deadline so tests stay fast).
+func newFaultForestCfg(t *testing.T, retry RetryPolicy, heal HealPolicy, evac EvacuationPolicy) (*Forest, *ssdio.Space) {
+	t.Helper()
+	fr, space, _, _ := newFaultForestFull(t, retry, heal, evac, fmShards)
+	return fr, space
+}
+
+// newFaultForestFull also returns the page files and logs so crash
+// tests can snapshot durable images and cut WAL records. opqPages sets
+// the global OPQ budget (fmShards = one page per shard; crash-image
+// tests raise it so no flush interleaves with the records they cut).
+func newFaultForestFull(t *testing.T, retry RetryPolicy, heal HealPolicy, evac EvacuationPolicy, opqPages int) (*Forest, *ssdio.Space, []*pagefile.PageFile, []*wal.Log) {
+	t.Helper()
 	dev := flashsim.MustDevice(flashsim.P300())
 	space := ssdio.NewSpace(dev)
 	cfg := smallCfg()
-	cfg.OPQPages = fmShards // one page per shard after the global split
+	cfg.OPQPages = opqPages
 	cfg.BufferBytes = 32 * 1024
 	cfg.Retry = retry
 	pfs := make([]*pagefile.PageFile, fmShards)
@@ -69,11 +87,13 @@ func newFaultForest(t *testing.T, retry RetryPolicy) (*Forest, *ssdio.Space) {
 		Shard:          cfg,
 		Logs:           logs,
 		MigrationChunk: fmChunkSize,
+		Heal:           heal,
+		Evacuation:     evac,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return fr, space
+	return fr, space, pfs, logs
 }
 
 // fmBaseline loads fmPerShard keys per shard and checkpoints: everything

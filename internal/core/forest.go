@@ -210,6 +210,14 @@ type ForestConfig struct {
 	// checkpoint truncates each log's head up to this round's first record
 	// (everything before a durable checkpoint is dead for recovery).
 	DisableLogTruncation bool
+
+	// Heal drives the auto-heal prober over quarantined shards; the zero
+	// value enables it with defaults (see HealPolicy).
+	Heal HealPolicy
+	// Evacuation bounds how long a quarantined shard may stay un-healed
+	// before AutoRebalance migrates its range onto healthy shards; the
+	// zero value enables it with defaults (see EvacuationPolicy).
+	Evacuation EvacuationPolicy
 }
 
 // forestShard pairs one PIO B-tree with its two locking planes: the real
@@ -240,6 +248,16 @@ type forestShard struct {
 	quarantined bool
 	qDirty      bool
 	qErr        error
+
+	// Self-healing prober state (guarded by mu). quarantinedAt is the
+	// incident start: set when a healthy shard quarantines and cleared
+	// only by a durable flush commit or a full Recover — NOT by Heal — so
+	// a flapping device cannot reset its evacuation deadline by healing
+	// briefly. nextProbeAt schedules the next auto-heal probe (0 = none);
+	// probeGap is the current backoff between probes.
+	quarantinedAt vtime.Ticks
+	nextProbeAt   vtime.Ticks
+	probeGap      vtime.Ticks
 }
 
 // ripe reports whether the shard's OPQ is filled to the given fraction.
@@ -312,6 +330,17 @@ type Forest struct {
 	ioRetries          atomic.Int64
 	ioRetryBackoff     atomic.Int64
 	ioRetriesExhausted atomic.Int64
+	watchdogTimeouts   atomic.Int64
+
+	// Self-healing control plane: heal/evac are the normalized policies,
+	// the counters mirror the prober's and the evacuator's activity.
+	heal            HealPolicy
+	evac            EvacuationPolicy
+	healProbes      atomic.Int64
+	autoHeals       atomic.Int64
+	evacuations     atomic.Int64
+	evacChunks      atomic.Int64
+	migrationAborts atomic.Int64
 
 	// damaged, once set, fails every mutating operation: a group commit
 	// failed after members already updated their in-memory state, so
@@ -343,6 +372,7 @@ func (f *Forest) retryIO(at vtime.Ticks, op func(vtime.Ticks) (vtime.Ticks, erro
 	f.ioRetries.Add(rs.IORetries)
 	f.ioRetryBackoff.Add(int64(rs.IORetryBackoff))
 	f.ioRetriesExhausted.Add(rs.IORetriesExhausted)
+	f.watchdogTimeouts.Add(rs.WatchdogTimeouts)
 	return done, err
 }
 
@@ -390,6 +420,18 @@ func (f *Forest) quarantineShard(at vtime.Ticks, s *forestShard, cause error) vt
 	//lint:ignore guardedby caller holds s.mu (see contract above)
 	s.quarantined = true
 	s.qErr = cause
+	// Start (or keep) the incident clock and schedule the first auto-heal
+	// probe. quarantinedAt is sticky across heal/re-fail flaps; the probe
+	// backoff restarts fresh for the new failure.
+	//lint:ignore guardedby caller holds s.mu (see contract above)
+	if s.quarantinedAt == 0 {
+		//lint:ignore guardedby caller holds s.mu (see contract above)
+		s.quarantinedAt = at
+	}
+	if !f.heal.Disabled {
+		s.probeGap = f.heal.ProbeInterval
+		s.nextProbeAt = done + s.probeGap
+	}
 	return done
 }
 
@@ -438,6 +480,26 @@ type ForestStats struct {
 	IORetries          int64
 	IORetryBackoff     vtime.Ticks
 	IORetriesExhausted int64
+	// WatchdogTimeouts counts stuck-I/O watchdog firings across the shard
+	// trees and the flush coordinator — hanging submissions abandoned at
+	// their vtime deadline instead of stalling the caller.
+	WatchdogTimeouts int64
+	// Self-healing control plane: HealProbes counts auto-heal probe I/Os
+	// issued by quarantined shards, AutoHeals the probes whose Heal
+	// replay re-admitted the shard. Evacuations counts committed
+	// quarantine evacuations, EvacuatedChunks the chunks they streamed,
+	// and EvacuatedShards the shards currently routing through an
+	// evacuation rule (excluded from QuarantinedShards: their degraded
+	// state no longer affects availability).
+	HealProbes      int64
+	AutoHeals       int64
+	Evacuations     int64
+	EvacuatedChunks int64
+	EvacuatedShards int
+	// MigrationAborts counts migrations (evacuations included) aborted by
+	// an attributable I/O failure and resolved in place — the failing
+	// shards quarantined, the routing left at the durable frontier.
+	MigrationAborts int64
 }
 
 // ShardLoad is one shard's load signal.
@@ -450,8 +512,11 @@ type ShardLoad struct {
 	// OPQPages is the shard's current operation-queue page budget
 	// (changes when ApplyOPQBudget installs a retuned split).
 	OPQPages int
-	// Quarantined reports read-only degraded mode.
+	// Quarantined reports read-only degraded mode; Evacuated reports that
+	// the shard's range has been migrated onto healthy shards (an
+	// evacuated shard stays quarantined but is skipped by sweeps).
 	Quarantined bool
+	Evacuated   bool
 }
 
 // NewForest builds a forest of len(pfs) shards, one tree per page file.
@@ -510,6 +575,8 @@ func NewForest(pfs []*pagefile.PageFile, cfg ForestConfig) (*Forest, error) {
 		migChunk:       chunk,
 		truncateLogs:   !cfg.DisableLogTruncation,
 		retry:          cfg.Shard.Retry,
+		heal:           cfg.Heal.norm(),
+		evac:           cfg.Evacuation.norm(),
 	}
 	seenLogs := make(map[*wal.Log]bool)
 	for i, pf := range pfs {
@@ -715,6 +782,12 @@ func (f *Forest) RangeSearch(at vtime.Ticks, lo, hi kv.Key) ([]kv.Record, vtime.
 	var recs []kv.Record
 	done := at
 	for _, si := range f.part.RangeShards(lo, hi) {
+		if f.rpart.IsEvacuated(si) {
+			// An evacuated shard's committed copies live on its destination
+			// now; the stale physical copies it retains (its device rejects
+			// the deletes) must not surface twice.
+			continue
+		}
 		s := f.shards[si]
 		s.mu.Lock()
 		if s.qDirty {
@@ -1054,8 +1127,11 @@ func (f *Forest) flushGroup(at vtime.Ticks, trigger int) (vtime.Ticks, error) {
 	for gi, s := range group[:acquired] {
 		if flushed[gi] {
 			// This member's flush is durable end to end: a new rollback
-			// baseline.
+			// baseline — and proof the device is really back, so the
+			// self-healing incident clock resets.
 			s.tree.commitDurableMeta()
+			//lint:ignore guardedby member flush lock s.mu held until release below
+			s.quarantinedAt = 0
 		}
 	}
 	// Rollback replays for the quarantined members, charged on the vtime
@@ -1098,6 +1174,9 @@ func (f *Forest) submitGang(at vtime.Ticks, gang *writeGang) (vtime.Ticks, map[*
 			// faults fail their owner immediately, transient ones retry.
 			var next []int
 			for _, flt := range pge.Faults {
+				if IsWatchdogTimeout(flt.Err) {
+					f.watchdogTimeouts.Add(1)
+				}
 				orig := pending[flt.Batch]
 				if IsTransientIO(flt.Err) {
 					next = append(next, orig)
@@ -1106,8 +1185,13 @@ func (f *Forest) submitGang(at vtime.Ticks, gang *writeGang) (vtime.Ticks, map[*
 				}
 			}
 			pending = next
-		} else if !IsTransientIO(err) {
-			return done, failed, err
+		} else {
+			if IsWatchdogTimeout(err) {
+				f.watchdogTimeouts.Add(1)
+			}
+			if !IsTransientIO(err) {
+				return done, failed, err
+			}
 		}
 		if len(pending) == 0 {
 			return done, failed, nil
@@ -1223,7 +1307,7 @@ func (f *Forest) Checkpoint(at vtime.Ticks) (vtime.Ticks, error) {
 	// recovery (each shard's replay starts at its last checkpoint).
 	cut := make(map[*wal.Log]uint64)
 	anyQuarantined := false
-	for _, s := range f.shards {
+	for si, s := range f.shards {
 		if !f.sharedLog {
 			s.mu.Lock()
 		}
@@ -1231,8 +1315,14 @@ func (f *Forest) Checkpoint(at vtime.Ticks) (vtime.Ticks, error) {
 		if s.quarantined {
 			// A quarantined shard cannot drain (its device may still be
 			// failing) and logs no checkpoint record: its replay cursor
-			// must stay where its last successful rollback left it.
-			anyQuarantined = true
+			// must stay where its last successful rollback left it. Only
+			// non-evacuated quarantines block truncation below — an
+			// evacuated shard's live state moved to healthy shards, and its
+			// own log is never in this round's cut set, so holding every
+			// log's history for it would leak log space forever.
+			if !f.rpart.IsEvacuated(si) {
+				anyQuarantined = true
+			}
 			if !f.sharedLog {
 				s.mu.Unlock()
 			}
@@ -1391,8 +1481,10 @@ func (f *Forest) Recover(at vtime.Ticks) (ForestRecoveryReport, vtime.Ticks, err
 		}
 		if err == nil {
 			// A successful replay supersedes any quarantine: the shard is
-			// re-admitted in exactly the durable state.
+			// re-admitted in exactly the durable state, with a fresh
+			// self-healing incident clock.
 			s.quarantined, s.qDirty, s.qErr = false, false, nil
+			s.quarantinedAt, s.nextProbeAt, s.probeGap = 0, 0, 0
 		}
 		s.mu.Unlock()
 		if err != nil {
@@ -1413,6 +1505,19 @@ func (f *Forest) Recover(at vtime.Ticks) (ForestRecoveryReport, vtime.Ticks, err
 	if err != nil {
 		return rep, done, err
 	}
+	// The per-shard replay above re-admitted every shard; evacuated
+	// shards must not come back as live members — their routing rules
+	// moved the range away and their physical copies are stale. Re-mark
+	// them quarantined (reads and writes keep skipping them).
+	for i, s := range f.shards {
+		if !f.rpart.IsEvacuated(i) {
+			continue
+		}
+		s.mu.Lock()
+		s.quarantined = true
+		s.qErr = fmt.Errorf("core: shard %d evacuated", i)
+		s.mu.Unlock()
+	}
 	// The durable log has been replayed into a consistent state; lift any
 	// group-commit damage mark.
 	f.damaged.Store(nil)
@@ -1424,8 +1529,10 @@ func (f *Forest) Recover(at vtime.Ticks) (ForestRecoveryReport, vtime.Ticks, err
 // replay the shard's durable log records), and on success lifts the
 // quarantine — the shard serves writes again from exactly its committed
 // state. If the device is still failing the replay fails and the shard
-// stays quarantined; call again after the fault clears. A no-op on a
-// healthy shard.
+// stays quarantined; call again after the fault clears (or let the
+// auto-heal prober keep trying). Idempotent: a no-op on a healthy
+// shard. An evacuated shard cannot heal — its range now lives on
+// healthy shards and its physical copies are stale.
 func (f *Forest) Heal(at vtime.Ticks, shard int) (vtime.Ticks, error) {
 	if err := f.checkDamaged(); err != nil {
 		return at, err
@@ -1433,40 +1540,29 @@ func (f *Forest) Heal(at vtime.Ticks, shard int) (vtime.Ticks, error) {
 	if shard < 0 || shard >= len(f.shards) {
 		return at, fmt.Errorf("core: Heal: no shard %d (forest has %d)", shard, len(f.shards))
 	}
+	if f.rpart.IsEvacuated(shard) {
+		return at, fmt.Errorf("core: Heal: shard %d was evacuated; its range is served by healthy shards", shard)
+	}
 	s := f.shards[shard]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.quarantined {
 		return at, nil
 	}
-	// Force the shard's log tail first: an aborted migration leaves its
-	// compensation records (and any stranded appends) in the unforced
-	// tail, and the rollback replay below reads only durable records. If
-	// the force still fails the device hasn't recovered — Heal fails.
-	done := at
-	if s.tree.log != nil {
-		var err error
-		done, err = s.tree.retryIO(done, s.tree.log.Force)
-		if err != nil {
-			s.qDirty = true
-			return done, fmt.Errorf("core: Heal shard %d: force tail: %w", shard, err)
-		}
-	}
-	done, err := s.tree.rollbackToDurable(done)
-	if err != nil {
-		// Still failing: reads stay off too until a replay goes through.
-		s.qDirty = true
-		return done, fmt.Errorf("core: Heal shard %d: %w", shard, err)
-	}
-	s.quarantined, s.qDirty, s.qErr = false, false, nil
-	return done, nil
+	return f.healLocked(at, shard, s)
 }
 
 // Quarantined returns the indexes of shards currently in read-only
-// degraded mode.
+// degraded mode and awaiting a heal. Evacuated shards are excluded:
+// their range is already served by healthy shards and Heal rejects them
+// — they are retired, not degraded (ForestStats.EvacuatedShards counts
+// them).
 func (f *Forest) Quarantined() []int {
 	var out []int
 	for i, s := range f.shards {
+		if f.rpart.IsEvacuated(i) {
+			continue
+		}
 		s.mu.Lock()
 		if s.quarantined {
 			out = append(out, i)
@@ -1492,6 +1588,12 @@ func (f *Forest) Crash() {
 		next.mig = nil
 		f.rpart.publish(next)
 	}
+	// A budget-parked AutoRebalance migration handle is stale after a
+	// crash (Recover resolves the move from its durable records); drop it
+	// so the next poll does not surface a spurious stale-handle error.
+	f.autoMu.Lock()
+	f.autoMig = nil
+	f.autoMu.Unlock()
 	f.rebalanceActive.Store(false)
 }
 
@@ -1529,7 +1631,12 @@ func (f *Forest) Count() int64 {
 	f.migMu.RLock()
 	defer f.migMu.RUnlock()
 	var n int64
-	for _, s := range f.shards {
+	for i, s := range f.shards {
+		if f.rpart.IsEvacuated(i) {
+			// Stale physical copies on an evacuated shard; the live records
+			// are counted on their destination.
+			continue
+		}
 		s.mu.Lock()
 		n += s.tree.Count()
 		s.mu.Unlock()
@@ -1611,7 +1718,8 @@ func (f *Forest) Stats() ForestStats {
 		MigrationActive: f.rebalanceActive.Load(),
 		ShardLoads:      make([]ShardLoad, 0, len(f.shards)),
 	}
-	for _, s := range f.shards {
+	for i, s := range f.shards {
+		evacuated := f.rpart.IsEvacuated(i)
 		s.mu.Lock()
 		out.ShardLoads = append(out.ShardLoads, ShardLoad{
 			Ops:         s.ops,
@@ -1619,8 +1727,12 @@ func (f *Forest) Stats() ForestStats {
 			Pending:     s.tree.OPQLen(),
 			OPQPages:    s.tree.OPQPages(),
 			Quarantined: s.quarantined,
+			Evacuated:   evacuated,
 		})
-		if s.quarantined {
+		switch {
+		case evacuated:
+			out.EvacuatedShards++
+		case s.quarantined:
 			out.QuarantinedShards++
 		}
 		st := s.tree.Stats()
@@ -1638,6 +1750,7 @@ func (f *Forest) Stats() ForestStats {
 		out.Tree.IORetries += st.IORetries
 		out.Tree.IORetryBackoff += st.IORetryBackoff
 		out.Tree.IORetriesExhausted += st.IORetriesExhausted
+		out.Tree.WatchdogTimeouts += st.WatchdogTimeouts
 		out.VLockWaits += s.vlock.Waits
 		out.VLockContended += s.vlock.Contended
 		out.Pending += s.tree.OPQLen()
@@ -1648,6 +1761,12 @@ func (f *Forest) Stats() ForestStats {
 	out.IORetries = out.Tree.IORetries + f.ioRetries.Load()
 	out.IORetryBackoff = out.Tree.IORetryBackoff + vtime.Ticks(f.ioRetryBackoff.Load())
 	out.IORetriesExhausted = out.Tree.IORetriesExhausted + f.ioRetriesExhausted.Load()
+	out.WatchdogTimeouts = out.Tree.WatchdogTimeouts + f.watchdogTimeouts.Load()
+	out.HealProbes = f.healProbes.Load()
+	out.AutoHeals = f.autoHeals.Load()
+	out.Evacuations = f.evacuations.Load()
+	out.EvacuatedChunks = f.evacChunks.Load()
+	out.MigrationAborts = f.migrationAborts.Load()
 	// Log-plane counters: each log guards its own counters (Sync and
 	// Checkpoint may force per-shard logs without holding shard locks).
 	out.LogGangSubmits = f.logGangSubmits.Load()
@@ -1664,6 +1783,11 @@ func (f *Forest) Stats() ForestStats {
 // shard holds only keys the partitioner routes to it.
 func (f *Forest) CheckInvariants() error {
 	for i, s := range f.shards {
+		if f.rpart.IsEvacuated(i) {
+			// The shard's stale physical copies legitimately violate routing
+			// (its device rejected the deletes); sweeps skip it entirely.
+			continue
+		}
 		s.mu.Lock()
 		err := s.tree.CheckInvariants()
 		if err == nil {

@@ -1,0 +1,697 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/flashsim"
+	"repro/internal/kv"
+	"repro/internal/pagefile"
+	"repro/internal/ssdio"
+	"repro/internal/vtime"
+	"repro/internal/wal"
+)
+
+// The healing suite drives the self-healing control plane end to end on
+// the fault-matrix harness: auto-heal probing re-admits a shard once a
+// transient outage clears, auto-evacuation retires a shard whose device
+// never comes back, the stuck-I/O watchdog bounds hung submissions, and
+// every flow is byte-deterministic and crash-consistent.
+
+// fmDrivePolicy disables the load-based rebalancer so AutoRebalance
+// polls exercise only the self-healing paths (probe, heal, evacuate).
+func fmDrivePolicy() RebalancePolicy {
+	return RebalancePolicy{MinOps: 1 << 40, HotFactor: 100}
+}
+
+// fmDriveUntil polls AutoRebalance on a fixed cadence until stop
+// reports true, failing the test if it never does.
+func fmDriveUntil(t *testing.T, fr *Forest, now vtime.Ticks, step vtime.Ticks, pol RebalancePolicy, stop func() bool) vtime.Ticks {
+	t.Helper()
+	for i := 0; i < 256; i++ {
+		if stop() {
+			return now
+		}
+		now += step
+		_, _, _, d, err := fr.AutoRebalance(now, pol)
+		if err != nil {
+			t.Fatalf("AutoRebalance: %v", err)
+		}
+		now = vtime.Max(now, d)
+	}
+	t.Fatalf("condition never reached after 256 polls (now=%v)", now)
+	return now
+}
+
+// runAutoHealFlow quarantines shard 0 behind a transient WAL outage and
+// lets the prober re-admit it: probes inside the fault window reach the
+// device (reads are never failed) but the Heal replay's force-tail
+// fails, doubling the probe gap; the first probe past the window heals.
+// No committed or acknowledged key may be lost.
+func runAutoHealFlow(t *testing.T) (ForestStats, int64) {
+	t.Helper()
+	fr, space := newFaultForest(t, RetryPolicy{Disabled: true})
+	at := fmBaseline(t, fr)
+	fmInstall(t, space, fmt.Sprintf("transient file=wal0 until=%dns", at+10*vtime.Millisecond))
+
+	accepted, werr, done := fmTriggerFlush(t, fr, at)
+	if !errors.Is(werr, ErrShardQuarantined) {
+		t.Fatalf("trigger write error = %v, want ErrShardQuarantined", werr)
+	}
+	if q := fr.Quarantined(); len(q) != 1 || q[0] != 0 {
+		t.Fatalf("Quarantined() = %v, want [0]", q)
+	}
+
+	now := fmDriveUntil(t, fr, done, 250*vtime.Microsecond, fmDrivePolicy(), func() bool {
+		return len(fr.Quarantined()) == 0
+	})
+	st := fr.Stats()
+	if st.AutoHeals != 1 {
+		t.Fatalf("AutoHeals = %d, want 1", st.AutoHeals)
+	}
+	if st.HealProbes < 2 {
+		t.Fatalf("HealProbes = %d, want >= 2 (failed probes inside the window, then the healing one)", st.HealProbes)
+	}
+	if st.Evacuations != 0 || st.EvacuatedShards != 0 {
+		t.Fatalf("healed shard must not evacuate: %+v", st)
+	}
+
+	// Zero lost keys: the heal forced the WAL tail, so even the inserts
+	// acknowledged into it right before the quarantine are durable.
+	now = fmCheckKeys(t, fr, now, fmShardKeys(0))
+	now = fmCheckKeys(t, fr, now, fmShardKeys(1))
+	now = fmCheckKeys(t, fr, now, accepted)
+
+	// The healed shard serves writes again.
+	k := kv.Key(990)
+	now, err := fr.Insert(now, kv.Record{Key: k, Value: fmVal(k)})
+	if err != nil {
+		t.Fatalf("post-heal insert: %v", err)
+	}
+	now = fmCheckKeys(t, fr, now, []kv.Key{k})
+	if err := fr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return fr.Stats(), fr.Count()
+}
+
+func TestForestAutoHealTransient(t *testing.T) {
+	st1, n1 := runAutoHealFlow(t)
+	st2, n2 := runAutoHealFlow(t)
+	if !reflect.DeepEqual(st1, st2) || n1 != n2 {
+		t.Fatalf("auto-heal flow not deterministic:\n run1: %+v count=%d\n run2: %+v count=%d", st1, n1, st2, n2)
+	}
+}
+
+// runAutoEvacFlow kills shard 1's WAL permanently: probes keep passing
+// (reads work) but the Heal replay never does, so the evacuation
+// deadline trips and AutoRebalance migrates the shard's committed range
+// onto shard 0. Every committed key stays served; the acknowledged
+// inserts whose redo sat in the dead WAL's unforced tail are lost —
+// like unsynced writes in a crash — absent, never wrong. The evacuated
+// state survives both the record path (crash before checkpoint) and the
+// snapshot path (crash after checkpoint) of recovery.
+func runAutoEvacFlow(t *testing.T) (ForestStats, int64) {
+	t.Helper()
+	fr, space := newFaultForestCfg(t, RetryPolicy{Disabled: true},
+		HealPolicy{}, EvacuationPolicy{After: 2 * vtime.Millisecond})
+	at := fmBaseline(t, fr)
+	fmInstall(t, space, "readonly file=wal1")
+
+	accepted, werr, done := fmTriggerFlush(t, fr, at)
+	if werr != nil && !errors.Is(werr, ErrShardQuarantined) {
+		t.Fatalf("trigger write error = %v", werr)
+	}
+	if q := fr.Quarantined(); len(q) != 1 || q[0] != 1 {
+		t.Fatalf("Quarantined() = %v, want [1]", q)
+	}
+	// Degraded reads stay on while quarantined.
+	done = fmCheckKeys(t, fr, done, fmShardKeys(1))
+
+	now := fmDriveUntil(t, fr, done, 500*vtime.Microsecond, fmDrivePolicy(), func() bool {
+		return fr.Stats().Evacuations == 1
+	})
+	st := fr.Stats()
+	if st.EvacuatedShards != 1 || st.EvacuatedChunks < 1 {
+		t.Fatalf("evacuation stats: %+v", st)
+	}
+	if st.AutoHeals != 0 {
+		t.Fatalf("a dead device must not heal: AutoHeals = %d", st.AutoHeals)
+	}
+	if st.HealProbes == 0 {
+		t.Fatal("the prober should have run before the evacuation deadline")
+	}
+	if st.QuarantinedShards != 0 {
+		t.Fatalf("evacuated shard still counted quarantined: %+v", st)
+	}
+	if q := fr.Quarantined(); len(q) != 0 {
+		t.Fatalf("Quarantined() = %v after evacuation, want empty", q)
+	}
+
+	checkServed := func(now vtime.Ticks) vtime.Ticks {
+		t.Helper()
+		now = fmCheckKeys(t, fr, now, fmShardKeys(0))
+		now = fmCheckKeys(t, fr, now, fmShardKeys(1))
+		for _, k := range accepted {
+			if k < fmStride {
+				now = fmCheckKeys(t, fr, now, []kv.Key{k})
+				continue
+			}
+			// Tail inserts acknowledged into the dead WAL: lost, not wrong.
+			_, ok, d, err := fr.Search(now, k)
+			if err != nil {
+				t.Fatalf("Search(%d): %v", k, err)
+			}
+			if ok {
+				t.Fatalf("tail key %d resurrected without its redo ever being durable", k)
+			}
+			now = d
+		}
+		// The evacuated range routes to the destination.
+		if s := fr.Routing().Shard(fmStride + 999); s != 0 {
+			t.Fatalf("evacuated range routes to shard %d, want 0", s)
+		}
+		return now
+	}
+	now = checkServed(now)
+
+	// The retired shard cannot heal — its physical copies are stale.
+	if _, err := fr.Heal(now, 1); err == nil {
+		t.Fatal("Heal on an evacuated shard must fail")
+	}
+
+	// Record path: crash before any checkpoint; Recover replays the
+	// evacuation's Start/KeyMoved/End from the destination's log.
+	fr.Crash()
+	_, now, err := fr.Recover(now)
+	if err != nil {
+		t.Fatalf("Recover (record path): %v", err)
+	}
+	if st := fr.Stats(); st.EvacuatedShards != 1 {
+		t.Fatalf("evacuation lost across crash (record path): %+v", st)
+	}
+	now = checkServed(now)
+
+	// Snapshot path: checkpoint persists the routing snapshot (evac mask
+	// included), then crash again.
+	now, err = fr.Checkpoint(now)
+	if err != nil {
+		t.Fatalf("Checkpoint with an evacuated shard: %v", err)
+	}
+	fr.Crash()
+	_, now, err = fr.Recover(now)
+	if err != nil {
+		t.Fatalf("Recover (snapshot path): %v", err)
+	}
+	if st := fr.Stats(); st.EvacuatedShards != 1 {
+		t.Fatalf("evacuation lost across crash (snapshot path): %+v", st)
+	}
+	now = checkServed(now)
+
+	// Writes to the evacuated range land on the destination.
+	k := fmStride + 999
+	now, err = fr.Insert(now, kv.Record{Key: k, Value: fmVal(k)})
+	if err != nil {
+		t.Fatalf("post-evacuation insert: %v", err)
+	}
+	now = fmCheckKeys(t, fr, now, []kv.Key{k})
+	if err := fr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return fr.Stats(), fr.Count()
+}
+
+func TestForestAutoEvacuatePermanent(t *testing.T) {
+	st1, n1 := runAutoEvacFlow(t)
+	st2, n2 := runAutoEvacFlow(t)
+	if !reflect.DeepEqual(st1, st2) || n1 != n2 {
+		t.Fatalf("auto-evacuation flow not deterministic:\n run1: %+v count=%d\n run2: %+v count=%d", st1, n1, st2, n2)
+	}
+}
+
+// TestForestWatchdogStuckGang: a gang member that hangs far past the
+// stuck deadline is abandoned by the watchdog at the deadline and
+// classified transient, so the flush coordinator retries instead of
+// hanging. Disarmed, the same program just waits out the hang — the
+// watchdog counter stays zero either way the flush completes.
+func TestForestWatchdogStuckGang(t *testing.T) {
+	run := func(armed bool) ForestStats {
+		fr, space := newFaultForest(t, RetryPolicy{})
+		if armed {
+			space.SetStuckTimeout(RetryPolicy{}.StuckDeadline())
+		}
+		at := fmBaseline(t, fr)
+		fmInstall(t, space, fmt.Sprintf("stuck call=gang file=shard0 until=%dns", at+8*vtime.Millisecond))
+		accepted, werr, done := fmTriggerFlush(t, fr, at)
+		if werr != nil {
+			t.Fatalf("armed=%v: flush should be retried to success, got %v", armed, werr)
+		}
+		if q := fr.Quarantined(); len(q) != 0 {
+			t.Fatalf("armed=%v: stuck I/O must not quarantine: %v", armed, q)
+		}
+		if done > at+60*vtime.Millisecond {
+			t.Fatalf("armed=%v: flush took unbounded time: %v -> %v", armed, at, done)
+		}
+		done = fmCheckKeys(t, fr, done, fmShardKeys(0))
+		done = fmCheckKeys(t, fr, done, fmShardKeys(1))
+		fmCheckKeys(t, fr, done, accepted)
+		if err := fr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return fr.Stats()
+	}
+	armed := run(true)
+	if armed.WatchdogTimeouts < 1 {
+		t.Fatalf("armed: WatchdogTimeouts = %d, want >= 1", armed.WatchdogTimeouts)
+	}
+	if armed.IORetries < 1 {
+		t.Fatalf("armed: the abandoned submission must be retried, IORetries = %d", armed.IORetries)
+	}
+	disarmed := run(false)
+	if disarmed.WatchdogTimeouts != 0 {
+		t.Fatalf("disarmed: WatchdogTimeouts = %d, want 0", disarmed.WatchdogTimeouts)
+	}
+	// Determinism of the armed flow.
+	if again := run(true); !reflect.DeepEqual(armed, again) {
+		t.Fatalf("watchdog flow not deterministic:\n run1: %+v\n run2: %+v", armed, again)
+	}
+}
+
+// TestForestWatchdogStallPulse: a device-wide correlated stall (a GC
+// pause) hangs every in-flight submission with no error at all. The
+// watchdog abandons each at the deadline; retries land later in the
+// pulse until the remaining stall fits under the deadline and the I/O
+// rides it out. The flush completes with bounded per-submission waits
+// and no quarantine.
+func TestForestWatchdogStallPulse(t *testing.T) {
+	fr, space := newFaultForest(t, RetryPolicy{})
+	space.SetStuckTimeout(RetryPolicy{}.StuckDeadline())
+	at := fmBaseline(t, fr)
+	fmInstall(t, space, fmt.Sprintf("stall delay=20ms every=60ms from=%dns", at))
+	accepted, werr, done := fmTriggerFlush(t, fr, at)
+	if werr != nil {
+		t.Fatalf("stalled flush should ride out the pulse, got %v", werr)
+	}
+	st := fr.Stats()
+	if st.WatchdogTimeouts < 1 {
+		t.Fatalf("WatchdogTimeouts = %d, want >= 1 (submissions hung mid-pulse)", st.WatchdogTimeouts)
+	}
+	if q := fr.Quarantined(); len(q) != 0 {
+		t.Fatalf("a stall must not quarantine: %v", q)
+	}
+	done = fmCheckKeys(t, fr, done, fmShardKeys(0))
+	done = fmCheckKeys(t, fr, done, fmShardKeys(1))
+	fmCheckKeys(t, fr, done, accepted)
+	if err := fr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHealIdempotentHealthy: Heal on a healthy shard is a no-op at zero
+// cost, out-of-range shards are rejected, and nothing counts as an
+// auto-heal.
+func TestHealIdempotentHealthy(t *testing.T) {
+	fr, _ := newFaultForest(t, RetryPolicy{})
+	at := fmBaseline(t, fr)
+	for i := 0; i < 2; i++ {
+		done, err := fr.Heal(at, 0)
+		if err != nil || done != at {
+			t.Fatalf("Heal #%d on healthy shard: done=%v err=%v, want no-op", i, done, err)
+		}
+	}
+	if _, err := fr.Heal(at, -1); err == nil {
+		t.Fatal("Heal(-1) must fail")
+	}
+	if _, err := fr.Heal(at, fmShards); err == nil {
+		t.Fatalf("Heal(%d) must fail", fmShards)
+	}
+	if st := fr.Stats(); st.AutoHeals != 0 || st.HealProbes != 0 {
+		t.Fatalf("manual no-op heals counted as prober activity: %+v", st)
+	}
+}
+
+// TestHealRefailStaysQuarantined: Heal against a still-dead device
+// fails without changing the shard's state — quarantined, reads on —
+// however often it is retried; once the device recovers, Heal succeeds
+// and is idempotent from then on, with the forced tail fully durable.
+func TestHealRefailStaysQuarantined(t *testing.T) {
+	fr, space := newFaultForestCfg(t, RetryPolicy{Disabled: true},
+		HealPolicy{Disabled: true}, EvacuationPolicy{Disabled: true})
+	at := fmBaseline(t, fr)
+	fmInstall(t, space, "readonly file=wal0")
+	accepted, werr, now := fmTriggerFlush(t, fr, at)
+	if !errors.Is(werr, ErrShardQuarantined) {
+		t.Fatalf("trigger write error = %v, want ErrShardQuarantined", werr)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := fr.Heal(now, 0); err == nil {
+			t.Fatalf("Heal #%d against a dead device must fail", i)
+		}
+		if q := fr.Quarantined(); len(q) != 1 || q[0] != 0 {
+			t.Fatalf("failed heal #%d changed quarantine state: %v", i, q)
+		}
+		now = fmCheckKeys(t, fr, now, fmShardKeys(0)) // reads stay on
+	}
+	space.SetInjector(nil) // the device comes back
+	now2, err := fr.Heal(now, 0)
+	if err != nil {
+		t.Fatalf("Heal after recovery: %v", err)
+	}
+	if _, err := fr.Heal(now2, 0); err != nil {
+		t.Fatalf("second Heal must be a no-op: %v", err)
+	}
+	if q := fr.Quarantined(); len(q) != 0 {
+		t.Fatalf("Quarantined() = %v after heal", q)
+	}
+	now2 = fmCheckKeys(t, fr, now2, fmShardKeys(0))
+	now2 = fmCheckKeys(t, fr, now2, fmShardKeys(1))
+	now2 = fmCheckKeys(t, fr, now2, accepted)
+	k := kv.Key(991)
+	if now2, err = fr.Insert(now2, kv.Record{Key: k, Value: fmVal(k)}); err != nil {
+		t.Fatalf("post-heal insert: %v", err)
+	}
+	fmCheckKeys(t, fr, now2, []kv.Key{k})
+	if st := fr.Stats(); st.AutoHeals != 0 {
+		t.Fatalf("manual heal counted as auto-heal: %+v", st)
+	}
+	if err := fr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvacuationCrashResumeInPlace parks an evacuation mid-stream with
+// a one-tick drain budget, crashes, and recovers in place: the durable
+// frontier resumes the evacuation during Recover, and the parked
+// (now stale) AutoRebalance handle must not poison later polls.
+func TestEvacuationCrashResumeInPlace(t *testing.T) {
+	fr, space := newFaultForestCfg(t, RetryPolicy{Disabled: true},
+		HealPolicy{}, EvacuationPolicy{After: 2 * vtime.Millisecond})
+	at := fmBaseline(t, fr)
+	fmInstall(t, space, "readonly file=wal1")
+	_, werr, done := fmTriggerFlush(t, fr, at)
+	if werr != nil && !errors.Is(werr, ErrShardQuarantined) {
+		t.Fatalf("trigger write error = %v", werr)
+	}
+	pol := fmDrivePolicy()
+	pol.DrainBudget = 1 // one chunk per poll: the evacuation parks in flight
+	// Crash only after the second chunk streamed: its phase-1 force made
+	// the first chunk's KeyMoved durable, so recovery finds a durable
+	// frontier to resume from (one chunk in, the frontier record is still
+	// an unforced tail and recovery would — correctly — roll back).
+	now := fmDriveUntil(t, fr, done, 500*vtime.Microsecond, pol, func() bool {
+		st := fr.Stats()
+		return st.MigrationActive && st.EvacuatedChunks >= 2
+	})
+	if fr.Stats().Evacuations != 0 {
+		t.Fatal("evacuation finished before the crash could land mid-stream")
+	}
+	fr.Crash()
+	rep, now, err := fr.Recover(now)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rep.ResumedMigrations != 1 {
+		t.Fatalf("expected the evacuation to resume from its durable frontier: %+v", rep)
+	}
+	st := fr.Stats()
+	if st.EvacuatedShards != 1 {
+		t.Fatalf("resume did not retire the source: %+v", st)
+	}
+	if q := fr.Quarantined(); len(q) != 0 {
+		t.Fatalf("Quarantined() = %v", q)
+	}
+	now = fmCheckKeys(t, fr, now, fmShardKeys(0))
+	now = fmCheckKeys(t, fr, now, fmShardKeys(1))
+	// The stale parked handle must be gone: the next poll is clean.
+	if _, _, _, _, err := fr.AutoRebalance(now+vtime.Millisecond, fmDrivePolicy()); err != nil {
+		t.Fatalf("poll after crash-resume: %v", err)
+	}
+	if err := fr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvacuationCrashMatrix cuts a committed evacuation's WAL — all of
+// whose records ride the destination's log — at every protocol boundary,
+// rebuilds the forest from the durable images captured at quarantine
+// time, and verifies Recover resolves the evacuation consistently:
+// rolled back entirely with the source still live, resumed from the
+// frontier, or already complete.
+func TestEvacuationCrashMatrix(t *testing.T) {
+	for _, cut := range []migCut{cutPreStart, cutPreKeyMoved, cutAfterChunk, cutPreEnd, cutComplete} {
+		t.Run(cut.String(), func(t *testing.T) { runEvacuationCrashScenario(t, cut) })
+	}
+}
+
+func runEvacuationCrashScenario(t *testing.T, cut migCut) {
+	retry := RetryPolicy{Disabled: true}
+	evacPol := EvacuationPolicy{After: 2 * vtime.Millisecond}
+	// A roomier OPQ budget (2 pages = 120 entries per shard) keeps the
+	// destination from flushing while the evacuation's 100 copies stream
+	// into it: the rebuilt images below restore the quarantine-time data
+	// files, so an interleaved FlushEnd in the kept log prefix would make
+	// replay skip copies those images never got. Small enough that the
+	// trigger's 10 shard-1 inserts still make it ripe (threshold 6).
+	const evacOPQPages = 4
+	fr, space, pfs, logs := newFaultForestFull(t, retry, HealPolicy{}, evacPol, evacOPQPages)
+	at := fmBaseline(t, fr)
+	fmInstall(t, space, "readonly file=wal1")
+	accepted, werr, done := fmTriggerFlush(t, fr, at)
+	if werr != nil && !errors.Is(werr, ErrShardQuarantined) {
+		t.Fatalf("trigger write error = %v", werr)
+	}
+	if q := fr.Quarantined(); len(q) != 1 || q[0] != 1 {
+		t.Fatalf("Quarantined() = %v, want [1]", q)
+	}
+
+	// Durable image at quarantine time: the group flush's shard-0 work is
+	// committed, the dead WAL's tail was never forced.
+	preFiles := make([][]byte, fmShards)
+	pages := make([]int64, fmShards)
+	for i, pf := range pfs {
+		preFiles[i] = pf.File().Snapshot()
+		pages[i] = pf.NumPages()
+	}
+	preMeta := fr.SnapshotMeta()
+
+	fmDriveUntil(t, fr, done, 500*vtime.Microsecond, fmDrivePolicy(), func() bool {
+		return fr.Stats().Evacuations == 1
+	})
+
+	// Every evacuation record rides the destination's (shard 0's) log;
+	// the source's durable log still ends at the baseline.
+	dstRecs, err := logs[0].Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcRecs, err := logs[1].Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch cut {
+	case cutPreStart:
+		dstRecs = cutBeforeKind(dstRecs, wal.KindMigrationStart, 0)
+	case cutPreKeyMoved:
+		// The first chunk's copies were forced in the same batch as its
+		// KeyMoved; tearing the KeyMoved off leaves copies the rollback
+		// must purge from the destination.
+		dstRecs = cutBeforeKind(dstRecs, wal.KindKeyMoved, 0)
+	case cutAfterChunk:
+		dstRecs = cutAfterKind(dstRecs, wal.KindKeyMoved, 0)
+	case cutPreEnd:
+		dstRecs = cutBeforeKind(dstRecs, wal.KindMigrationEnd, 0)
+	case cutComplete:
+	}
+
+	// Rebuild on a fresh, healthy device from the quarantine-time images
+	// plus the cut logs.
+	dev2 := flashsim.MustDevice(flashsim.P300())
+	space2 := ssdio.NewSpace(dev2)
+	cfg := smallCfg()
+	cfg.OPQPages = evacOPQPages
+	cfg.BufferBytes = 32 * 1024
+	cfg.Retry = retry
+	pfs2 := make([]*pagefile.PageFile, fmShards)
+	logs2 := make([]*wal.Log, fmShards)
+	for i := 0; i < fmShards; i++ {
+		f, err := space2.Create(fmt.Sprintf("shard%d", i), 4<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Restore(preFiles[i])
+		if pfs2[i], err = pagefile.New(f, cfg.PageSize); err != nil {
+			t.Fatal(err)
+		}
+		for pfs2[i].NumPages() < pages[i] {
+			pfs2[i].Alloc()
+		}
+		wf, err := space2.Create(fmt.Sprintf("wal%d", i), 1<<22)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if logs2[i], err = wal.NewLog(wf, cfg.PageSize); err != nil {
+			t.Fatal(err)
+		}
+		recs := dstRecs
+		if i == 1 {
+			recs = srcRecs
+		}
+		for _, r := range recs {
+			logs2[i].Append(r)
+		}
+		if _, err := logs2[i].Force(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr2, err := NewForest(pfs2, ForestConfig{
+		Partitioner:    RangePartitioner{Bounds: []kv.Key{fmStride}},
+		RipeFraction:   0.05,
+		Shard:          cfg,
+		Logs:           logs2,
+		MigrationChunk: fmChunkSize,
+		Evacuation:     evacPol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fr2.RestoreMeta(preMeta); err != nil {
+		t.Fatal(err)
+	}
+	rep, at2, err := fr2.Recover(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rules := fr2.Routing().Rules()
+	st := fr2.Stats()
+	switch cut {
+	case cutPreStart:
+		if rep.ResumedMigrations != 0 || rep.RolledBackMigrations != 0 || len(rules) != 0 || st.EvacuatedShards != 0 {
+			t.Fatalf("preStart resolved something: %+v rules=%v evac=%d", rep, rules, st.EvacuatedShards)
+		}
+	case cutPreKeyMoved:
+		if rep.RolledBackMigrations != 1 || len(rules) != 0 || st.EvacuatedShards != 0 {
+			t.Fatalf("preKeyMoved: %+v rules=%v evac=%d", rep, rules, st.EvacuatedShards)
+		}
+	case cutAfterChunk, cutPreEnd:
+		if rep.ResumedMigrations != 1 || len(rules) != 1 || st.EvacuatedShards != 1 {
+			t.Fatalf("%v: %+v rules=%v evac=%d", cut, rep, rules, st.EvacuatedShards)
+		}
+	case cutComplete:
+		if rep.ResumedMigrations != 0 || rep.RolledBackMigrations != 0 || len(rules) != 1 || st.EvacuatedShards != 1 {
+			t.Fatalf("complete: %+v rules=%v evac=%d", rep, rules, st.EvacuatedShards)
+		}
+	}
+
+	// Whatever the cut: every durable key is served exactly once — the
+	// baseline of both shards plus the flush-committed shard-0 inserts —
+	// and the dead WAL's tail inserts stay lost.
+	now := fmCheckKeys(t, fr2, at2, fmShardKeys(0))
+	now = fmCheckKeys(t, fr2, now, fmShardKeys(1))
+	var durable int64
+	for _, k := range accepted {
+		if k < fmStride {
+			now = fmCheckKeys(t, fr2, now, []kv.Key{k})
+			durable++
+			continue
+		}
+		_, ok, d, err := fr2.Search(now, k)
+		if err != nil {
+			t.Fatalf("Search(%d): %v", k, err)
+		}
+		if ok {
+			t.Fatalf("tail key %d resurrected from a never-forced WAL", k)
+		}
+		now = d
+	}
+	if want := int64(2*fmPerShard) + durable; fr2.Count() != want {
+		t.Fatalf("Count() = %d, want %d", fr2.Count(), want)
+	}
+	if len(rules) == 1 {
+		// The evacuated range routes to the destination.
+		if s := fr2.Routing().Shard(fmStride + 999); s != 0 {
+			t.Fatalf("evacuated range routes to shard %d, want 0", s)
+		}
+		if _, err := fr2.Heal(now, 1); err == nil {
+			t.Fatal("Heal on the evacuated source must fail")
+		}
+	}
+	if err := fr2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMigrationStartIntoDeadShardContained reproduces the shape of the
+// blackout scenario's bench-scale failure: the destination picked for a
+// fresh migration has a silently dead (read-only) WAL device — cold
+// since its last force, so it is still healthy when the migration is
+// planned — and the MigrationStart gang force is the first write to hit
+// it. The start must be contained exactly like a group flush: the
+// destination quarantined via tail attribution, the refusal surfaced as
+// ErrShardQuarantined rather than a raw partial-gang fault, the routing
+// untouched, and the evacuation deadline must then rescue the range
+// while the heal prober keeps failing on the write probe.
+func TestMigrationStartIntoDeadShardContained(t *testing.T) {
+	fr, space := newFaultForestCfg(t, RetryPolicy{},
+		HealPolicy{}, EvacuationPolicy{After: 2 * vtime.Millisecond})
+	at := fmBaseline(t, fr)
+	fmInstall(t, space, "readonly file=wal1")
+
+	epoch := fr.Stats().RoutingEpoch
+	m, done, err := fr.StartMigration(at, 50, fmStride, 0, 1)
+	if m != nil || err == nil {
+		t.Fatalf("StartMigration into dead shard = (%v, %v), want contained refusal", m, err)
+	}
+	if !errors.Is(err, ErrShardQuarantined) {
+		t.Fatalf("StartMigration error = %v, want ErrShardQuarantined", err)
+	}
+	st := fr.Stats()
+	if st.MigrationAborts != 1 {
+		t.Fatalf("MigrationAborts = %d, want 1", st.MigrationAborts)
+	}
+	if got := fr.Quarantined(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Quarantined() = %v, want [1]", got)
+	}
+	if st.RoutingEpoch != epoch {
+		t.Fatalf("routing epoch moved %d -> %d on an aborted start", epoch, st.RoutingEpoch)
+	}
+
+	// The next AutoRebalance poll (still inside the evacuation grace
+	// window) reports the standoff as "no move", never as an error, and
+	// both shards' committed keys stay served: the quarantined shard is
+	// degraded, not offline.
+	moved, _, _, done, err := fr.AutoRebalance(done, fmDrivePolicy())
+	if err != nil || moved {
+		t.Fatalf("AutoRebalance after contained abort = (%v, %v), want clean no-op", moved, err)
+	}
+	done = fmCheckKeys(t, fr, done, fmShardKeys(0))
+	done = fmCheckKeys(t, fr, done, fmShardKeys(1))
+
+	// The evacuation deadline retires the dead shard. Reads against the
+	// device still succeed, so every probe reaches it — but the heal
+	// probe record forces a genuine write, which a read-only device must
+	// fail: no flapping re-admission before the rescue.
+	done = fmDriveUntil(t, fr, done, vtime.Millisecond, fmDrivePolicy(), func() bool {
+		return fr.Stats().Evacuations == 1
+	})
+	st = fr.Stats()
+	if st.AutoHeals != 0 {
+		t.Fatalf("AutoHeals = %d, want 0: a read-only device must fail the write probe", st.AutoHeals)
+	}
+	if st.HealProbes == 0 {
+		t.Fatal("HealProbes = 0, want probing before the evacuation deadline")
+	}
+	if q := fr.Quarantined(); len(q) != 0 {
+		t.Fatalf("Quarantined() = %v after evacuation, want none", q)
+	}
+	done = fmCheckKeys(t, fr, done, fmShardKeys(0))
+	_ = fmCheckKeys(t, fr, done, fmShardKeys(1))
+	if fr.Count() != int64(2*fmPerShard) {
+		t.Fatalf("Count() = %d, want %d", fr.Count(), 2*fmPerShard)
+	}
+	if err := fr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

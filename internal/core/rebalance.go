@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -78,6 +79,13 @@ type routing struct {
 	// rolled back; recovery replays only migration records above it.
 	maxCommitted uint64
 	mig          *migRoute
+	// evac is the bitmask of evacuated shards: their whole range was
+	// migrated onto healthy shards by a quarantine evacuation, but their
+	// devices rejected the source-side deletes, so the stale physical
+	// copies they retain must be skipped by every multi-shard sweep. Part
+	// of the durable routing snapshot (the rules alone cannot express
+	// "and don't read the source").
+	evac uint64
 }
 
 // route resolves the authoritative shard of key k.
@@ -169,6 +177,15 @@ func (p *RebalancingPartitioner) Rules() []MoveRule {
 	return out
 }
 
+// IsEvacuated reports whether shard i's range has been evacuated onto
+// healthy shards (see routing.evac).
+func (p *RebalancingPartitioner) IsEvacuated(i int) bool {
+	return i >= 0 && i < 64 && p.cur.Load().evac&(1<<uint(i)) != 0
+}
+
+// EvacuatedMask returns the evacuated-shard bitmask.
+func (p *RebalancingPartitioner) EvacuatedMask() uint64 { return p.cur.Load().evac }
+
 // Migrating reports the in-flight migration's source and destination.
 func (p *RebalancingPartitioner) Migrating() (src, dst int, active bool) {
 	if m := p.cur.Load().mig; m != nil {
@@ -189,7 +206,9 @@ func (p *RebalancingPartitioner) publish(next routing) {
 type RoutingMeta struct {
 	Epoch        uint64
 	MaxCommitted uint64
-	Rules        []MoveRule
+	// Evacuated is the evacuated-shard bitmask (see routing.evac).
+	Evacuated uint64
+	Rules     []MoveRule
 }
 
 // RoutingSnapshot captures the committed routing state (the in-flight
@@ -198,7 +217,7 @@ func (p *RebalancingPartitioner) RoutingSnapshot() RoutingMeta {
 	rt := p.cur.Load()
 	rules := make([]MoveRule, len(rt.rules))
 	copy(rules, rt.rules)
-	return RoutingMeta{Epoch: rt.epoch, MaxCommitted: rt.maxCommitted, Rules: rules}
+	return RoutingMeta{Epoch: rt.epoch, MaxCommitted: rt.maxCommitted, Evacuated: rt.evac, Rules: rules}
 }
 
 // RestoreRouting resets the committed routing state from a snapshot
@@ -209,16 +228,21 @@ func (p *RebalancingPartitioner) RestoreRouting(m RoutingMeta) {
 	copy(rules, m.Rules)
 	p.cur.Store(&routing{
 		base: rt.base, slots: rt.slots,
-		rules: rules, epoch: m.Epoch, maxCommitted: m.MaxCommitted,
+		rules: rules, epoch: m.Epoch, maxCommitted: m.MaxCommitted, evac: m.Evacuated,
 	})
 }
 
 // encodeRoutingMeta serializes a routing snapshot for the
-// KindRoutingSnapshot WAL record payload.
+// KindRoutingSnapshot WAL record payload: a 28-byte header (epoch,
+// max-committed, evacuated mask, rule count) followed by 32 bytes per
+// rule. The pre-evacuation format had a 20-byte header; the decoder
+// distinguishes the two by payload length (the formats differ by 8 mod
+// 32, so no payload parses as both).
 func encodeRoutingMeta(m RoutingMeta) []byte {
-	b := make([]byte, 0, 20+len(m.Rules)*24)
+	b := make([]byte, 0, 28+len(m.Rules)*32)
 	b = binary.LittleEndian.AppendUint64(b, m.Epoch)
 	b = binary.LittleEndian.AppendUint64(b, m.MaxCommitted)
+	b = binary.LittleEndian.AppendUint64(b, m.Evacuated)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Rules)))
 	for _, r := range m.Rules {
 		b = binary.LittleEndian.AppendUint64(b, r.Lo)
@@ -238,8 +262,19 @@ func decodeRoutingMeta(b []byte) (RoutingMeta, error) {
 	}
 	m.Epoch = binary.LittleEndian.Uint64(b)
 	m.MaxCommitted = binary.LittleEndian.Uint64(b[8:])
-	n := int(binary.LittleEndian.Uint32(b[16:]))
-	b = b[20:]
+	var n int
+	switch {
+	case (len(b)-20)%32 == 0:
+		// Legacy 20-byte header without the evacuated mask.
+		n = int(binary.LittleEndian.Uint32(b[16:]))
+		b = b[20:]
+	case len(b) >= 28 && (len(b)-28)%32 == 0:
+		m.Evacuated = binary.LittleEndian.Uint64(b[16:])
+		n = int(binary.LittleEndian.Uint32(b[24:]))
+		b = b[28:]
+	default:
+		return m, fmt.Errorf("core: routing snapshot has unrecognized payload length %d", len(b))
+	}
 	if len(b) != n*32 {
 		return m, fmt.Errorf("core: routing snapshot rule payload %d bytes, want %d", len(b), n*32)
 	}
@@ -294,6 +329,11 @@ type Migration struct {
 	idx    int
 	moved  int64
 	done   bool
+	// evac marks a quarantine evacuation: the source is quarantined by
+	// construction, all migration records ride the destination's log, and
+	// the source side is never written (no deletes, no forces) — its
+	// device may never accept another write.
+	evac bool
 }
 
 // Done reports whether the migration has committed.
@@ -364,9 +404,18 @@ func (f *Forest) StartMigration(at vtime.Ticks, lo, hi kv.Key, src, dst int) (*M
 func (f *Forest) startMigrationLocked(at vtime.Ticks, lo, hi kv.Key, src, dst int) (*Migration, vtime.Ticks, error) {
 	f.migMu.Lock()
 	defer f.migMu.Unlock()
+	// Both shards are locked (ascending index order, the same discipline
+	// as lockPair): the start-record force below may have to quarantine
+	// the destination when its log device fails the gang.
+	plo, phi := src, dst
+	if plo > phi {
+		plo, phi = phi, plo
+	}
+	f.shards[plo].mu.Lock()
+	defer f.shards[plo].mu.Unlock()
+	f.shards[phi].mu.Lock()
+	defer f.shards[phi].mu.Unlock()
 	s := f.shards[src]
-	s.mu.Lock()
-	defer s.mu.Unlock()
 
 	// Plan the chunk schedule: a timed scan of the source range yields the
 	// key population; every chunk-th key becomes a boundary. Keys inserted
@@ -401,6 +450,44 @@ func (f *Forest) startMigrationLocked(at vtime.Ticks, lo, hi kv.Key, src, dst in
 		// flush coordinator's group commit.
 		done, err = f.forceLogs(done, logs)
 		if err != nil {
+			if IsIOFault(err) {
+				// Contain like the flush coordinator's phase 1: a member
+				// whose log still holds an unforced tail is exactly a member
+				// whose start record is not durable — its device is failing.
+				// Quarantine it (the rollback drops the stranded append),
+				// close the never-published migration with abort records,
+				// and surface the refusal as a quarantine, not a raw fault.
+				failing := -1
+				for _, si := range []int{src, dst} {
+					sh := f.shards[si]
+					if sh.tree.log != nil && sh.tree.log.Unforced() {
+						done = f.quarantineShard(done, sh, err)
+						if failing < 0 {
+							failing = si
+						}
+					}
+				}
+				if failing >= 0 && f.damaged.Load() == nil {
+					for _, si := range []int{src, dst} {
+						if l := f.shards[si].tree.log; l != nil {
+							l.Append(wal.Record{
+								Kind: wal.KindMigrationEnd, Relation: f.shards[si].tree.cfg.Relation,
+								FlushID: m.id, KeyLo: lo, KeyHi: hi,
+								Key: uint64(src), Value: uint64(dst), Op: wal.OpType('a'),
+							})
+						}
+					}
+					if d, ferr := f.forceLogs(done, logs); ferr == nil {
+						done = d
+					}
+					// A failed force is fine: the Ends stay in the tails and
+					// either a Heal forces them or crash recovery rolls the
+					// open migration back — the routing was never touched.
+					f.migrationAborts.Add(1)
+					s.vlock.Release(done)
+					return nil, done, shardQuarantinedErr(failing, err)
+				}
+			}
 			s.vlock.Release(done)
 			return nil, done, err
 		}
@@ -501,10 +588,14 @@ func (f *Forest) migrateChunk(at vtime.Ticks, m *Migration) (vtime.Ticks, error)
 	start := src.vlock.Acquire(at)
 	defer func() { src.vlock.Release(start) }()
 	// fail resolves a mid-chunk I/O failure by aborting the migration at
-	// the durable frontier with both shards quarantined; non-I/O errors
+	// the durable frontier with both shards quarantined (an evacuation
+	// aborts one-sided: only the destination just failed); non-I/O errors
 	// keep escalating to the forest damaged mark.
 	fail := func(now vtime.Ticks, recs []kv.Record, undoSrc bool, err error) (vtime.Ticks, error) {
 		if IsIOFault(err) && len(f.migrationLogs(m.src, m.dst)) > 0 {
+			if m.evac {
+				return f.failEvacuation(now, m, recs, err)
+			}
 			return f.failMigration(now, m, recs, undoSrc, err)
 		}
 		f.setDamaged(err)
@@ -544,27 +635,44 @@ func (f *Forest) migrateChunk(at vtime.Ticks, m *Migration) (vtime.Ticks, error)
 	}
 	// Chunk phase 2: frontier record first, then the source deletes — the
 	// log prefix order then guarantees any durable delete is covered by a
-	// durable KeyMoved (and thus by durable copies).
-	if src.tree.log != nil {
-		src.tree.log.Append(wal.Record{
-			Kind: wal.KindKeyMoved, Relation: src.tree.cfg.Relation,
-			FlushID: m.id, KeyLo: a, KeyHi: b, Key: uint64(m.src), Value: uint64(m.dst),
-		})
-	}
-	for _, r := range recs {
-		now, err = src.tree.Delete(now, r.Key)
-		if err != nil {
-			now, err = fail(now, recs, true, err)
-			start = vtime.Max(start, now)
-			return now, err
+	// durable KeyMoved (and thus by durable copies). An evacuation's
+	// frontier record rides the DESTINATION's log instead (the source's
+	// device no longer accepts writes) and the source keeps its copies:
+	// the record is appended after the copies' force above, so whenever
+	// it becomes durable (the next chunk's force, or the commit force)
+	// the copies-durable-before-KeyMoved invariant still holds. Recovery
+	// re-streams an un-recorded chunk harmlessly — the resume path purges
+	// destination remnants above the frontier first.
+	if m.evac {
+		if dst.tree.log != nil {
+			dst.tree.log.Append(wal.Record{
+				Kind: wal.KindKeyMoved, Relation: dst.tree.cfg.Relation,
+				FlushID: m.id, KeyLo: a, KeyHi: b, Key: uint64(m.src), Value: uint64(m.dst),
+			})
 		}
-	}
-	if src.tree.log != nil {
-		now, err = src.tree.retryIO(now, src.tree.log.Force)
-		if err != nil {
-			now, err = fail(now, recs, true, err)
-			start = vtime.Max(start, now)
-			return now, err
+		f.evacChunks.Add(1)
+	} else {
+		if src.tree.log != nil {
+			src.tree.log.Append(wal.Record{
+				Kind: wal.KindKeyMoved, Relation: src.tree.cfg.Relation,
+				FlushID: m.id, KeyLo: a, KeyHi: b, Key: uint64(m.src), Value: uint64(m.dst),
+			})
+		}
+		for _, r := range recs {
+			now, err = src.tree.Delete(now, r.Key)
+			if err != nil {
+				now, err = fail(now, recs, true, err)
+				start = vtime.Max(start, now)
+				return now, err
+			}
+		}
+		if src.tree.log != nil {
+			now, err = src.tree.retryIO(now, src.tree.log.Force)
+			if err != nil {
+				now, err = fail(now, recs, true, err)
+				start = vtime.Max(start, now)
+				return now, err
+			}
 		}
 	}
 	// Publish the frontier advance: keys in [lo, b) now route to dst.
@@ -671,6 +779,7 @@ func (f *Forest) failMigration(at vtime.Ticks, m *Migration, recs []kv.Record, u
 		f.migrations.Add(1)
 	}
 	f.rpart.publish(next)
+	f.migrationAborts.Add(1)
 	f.rebalanceActive.Store(false)
 	return done, fmt.Errorf("core: migration %d aborted at frontier %d, shards %d/%d quarantined: %w",
 		m.id, frontier, m.src, m.dst, cause)
@@ -685,6 +794,9 @@ func (f *Forest) commitMigration(at vtime.Ticks, m *Migration) (vtime.Ticks, err
 	defer unlock()
 	if err := f.checkMigrationLive(m); err != nil {
 		return at, err
+	}
+	if m.evac {
+		return f.commitEvacuation(at, m)
 	}
 	done := at
 	if logs := f.migrationLogs(m.src, m.dst); len(logs) > 0 {
@@ -832,6 +944,20 @@ type RebalancePolicy struct {
 	DrainBudget vtime.Ticks
 }
 
+// containedRebalanceErr reports whether a migration failure was already
+// contained by the fault plane: the failing shards are quarantined (or
+// the move was refused because one is) and the routing table is resolved
+// at a consistent state. The autonomous poll loop treats such a failure
+// as "no move this tick" — degraded mode is the heal/evacuation
+// machinery's job, not its caller's — while unattributable failures
+// (forest damaged) keep propagating.
+func (f *Forest) containedRebalanceErr(err error) bool {
+	if err == nil || f.damaged.Load() != nil {
+		return false
+	}
+	return errors.Is(err, ErrShardQuarantined) || IsIOFault(err)
+}
+
 // AutoRebalance inspects the per-shard load deltas since its last call
 // and, when one shard absorbs disproportionate traffic, splits it at its
 // approximate median key toward the coldest shard. Returns whether a
@@ -843,6 +969,9 @@ func (f *Forest) AutoRebalance(at vtime.Ticks, pol RebalancePolicy) (moved bool,
 	if pol.HotFactor <= 1 {
 		pol.HotFactor = 2.0
 	}
+	// Self-healing first: probe quarantined shards (a heal needs no
+	// evacuation, and a healed shard is a rebalance candidate again).
+	at = f.healTick(at)
 	// A move left in flight by an earlier budget-bounded poll is resumed
 	// before any new one is considered.
 	f.autoMu.Lock()
@@ -855,8 +984,35 @@ func (f *Forest) AutoRebalance(at vtime.Ticks, pol RebalancePolicy) (moved bool,
 			f.autoMig = nil
 			f.autoMu.Unlock()
 		}
+		if f.containedRebalanceErr(err) {
+			err = nil
+		}
 		_, _, psrc, pdst := pending.Range()
 		return finished, psrc, pdst, done, err
+	}
+	// A shard past its evacuation deadline outranks hotspot splitting:
+	// its range is unavailable for writes until it moves.
+	if ev, evDone, evErr := f.startDueEvacuation(at); ev != nil || evErr != nil {
+		if evErr != nil {
+			if f.containedRebalanceErr(evErr) {
+				evErr = nil
+			}
+			return false, -1, -1, evDone, evErr
+		}
+		finished, done, err := f.drainBudgeted(ev, evDone, pol.DrainBudget)
+		_, _, esrc, edst := ev.Range()
+		if err != nil {
+			if f.containedRebalanceErr(err) {
+				err = nil
+			}
+			return false, esrc, edst, done, err
+		}
+		if !finished {
+			f.autoMu.Lock()
+			f.autoMig = ev
+			f.autoMu.Unlock()
+		}
+		return finished, esrc, edst, done, nil
 	}
 	n := len(f.shards)
 	deltas := make([]int64, n)
@@ -896,14 +1052,22 @@ func (f *Forest) AutoRebalance(at vtime.Ticks, pol RebalancePolicy) (moved bool,
 	}
 	dst, err := f.coldestShard(hot)
 	if err != nil {
-		return false, hot, -1, at, err
+		// Every other shard is quarantined: there is nowhere to split to
+		// until one heals — non-fatal for the poll loop.
+		return false, hot, -1, at, nil
 	}
 	m, done, err := f.StartMigration(at, boundary, MaxMigrationKey, hot, dst)
 	if err != nil {
+		if f.containedRebalanceErr(err) {
+			err = nil
+		}
 		return false, hot, dst, done, err
 	}
 	finished, done, err := f.drainBudgeted(m, done, pol.DrainBudget)
 	if err != nil {
+		if f.containedRebalanceErr(err) {
+			err = nil
+		}
 		return false, hot, dst, done, err
 	}
 	if !finished {
@@ -932,11 +1096,14 @@ type migrationEvent struct {
 	src, dst int
 	started  bool
 	frontier kv.Key
-	end      byte // 'c' committed, 'a' aborted, 0 open
+	end      byte // 'c' committed, 'e' evacuated, 'a' aborted, 0 open
 	// endLo/endHi are the End record's range: a live abort commits only
 	// the prefix streamed before the fault, so the committed rule must
 	// come from the End record, not the Start record.
 	endLo, endHi kv.Key
+	// evac marks a quarantine evacuation (Start record Op 'e'): records
+	// live only in the destination's log and the source is never written.
+	evac bool
 }
 
 // recoverRouting rebuilds the routing table from the durable log and
@@ -976,6 +1143,9 @@ func (f *Forest) recoverRouting(at vtime.Ticks, rep *ForestRecoveryReport) (vtim
 					ev.started = true
 					ev.lo, ev.hi = r.KeyLo, r.KeyHi
 					ev.src, ev.dst = int(r.Key), int(r.Value)
+					if byte(r.Op) == 'e' {
+						ev.evac = true
+					}
 					if ev.frontier < r.KeyLo {
 						ev.frontier = r.KeyLo
 					}
@@ -986,6 +1156,9 @@ func (f *Forest) recoverRouting(at vtime.Ticks, rep *ForestRecoveryReport) (vtim
 				case wal.KindMigrationEnd:
 					ev.end = byte(r.Op)
 					ev.endLo, ev.endHi = r.KeyLo, r.KeyHi
+					if ev.end == 'e' {
+						ev.evac = true
+					}
 				}
 			}
 		}
@@ -995,6 +1168,7 @@ func (f *Forest) recoverRouting(at vtime.Ticks, rep *ForestRecoveryReport) (vtim
 	}
 	rules := snap.Rules
 	maxCommitted := snap.MaxCommitted
+	evacMask := snap.Evacuated
 	// The in-memory routing may already be ahead of the durable snapshot
 	// (in-place recovery): committed rules are only ever published after
 	// their MigrationEnd was forced, so preferring the higher
@@ -1002,6 +1176,7 @@ func (f *Forest) recoverRouting(at vtime.Ticks, rep *ForestRecoveryReport) (vtim
 	if cur := f.rpart.cur.Load(); cur.maxCommitted > maxCommitted {
 		rules = append([]MoveRule(nil), cur.rules...)
 		maxCommitted = cur.maxCommitted
+		evacMask = cur.evac
 	}
 	ids := make([]uint64, 0, len(events))
 	for id := range events {
@@ -1020,12 +1195,20 @@ func (f *Forest) recoverRouting(at vtime.Ticks, rep *ForestRecoveryReport) (vtim
 		case 'c':
 			rules = append(rules, MoveRule{Lo: ev.endLo, Hi: ev.endHi, From: ev.src, To: ev.dst, ID: ev.id})
 			maxCommitted = ev.id
+		case 'e':
+			rules = append(rules, MoveRule{Lo: ev.endLo, Hi: ev.endHi, From: ev.src, To: ev.dst, ID: ev.id})
+			evacMask |= 1 << uint(ev.src)
+			maxCommitted = ev.id
 		case 'a':
 			maxCommitted = ev.id
 		default:
-			rules, at, err = f.resolveMigration(at, ev, rules, rep)
+			var evacuated bool
+			rules, evacuated, at, err = f.resolveMigration(at, ev, rules, rep)
 			if err != nil {
 				return at, err
+			}
+			if evacuated {
+				evacMask |= 1 << uint(ev.src)
 			}
 			maxCommitted = ev.id
 		}
@@ -1033,7 +1216,7 @@ func (f *Forest) recoverRouting(at vtime.Ticks, rep *ForestRecoveryReport) (vtim
 	rt := f.rpart.cur.Load()
 	f.rpart.publish(routing{
 		base: rt.base, slots: rt.slots,
-		rules: rules, maxCommitted: maxCommitted,
+		rules: rules, maxCommitted: maxCommitted, evac: evacMask,
 	})
 	if seq := f.migIDSeq.Load(); seq < maxCommitted {
 		f.migIDSeq.Store(maxCommitted)
@@ -1048,10 +1231,17 @@ func (f *Forest) recoverRouting(at vtime.Ticks, rep *ForestRecoveryReport) (vtim
 // (uncommitted destination remnants are purged). With no durable chunk
 // the move rolls back; otherwise the remainder is re-streamed and the
 // flip committed. All I/O is timed — it is part of the recovery cost.
-func (f *Forest) resolveMigration(at vtime.Ticks, ev *migrationEvent, rules []MoveRule, rep *ForestRecoveryReport) ([]MoveRule, vtime.Ticks, error) {
+//
+// Evacuations (Start record Op 'e') follow the same frontier logic but
+// never touch the source: no stale-copy purge below the frontier (the
+// routing evac bit hides those copies), no source deletes, no records on
+// the source's log — the source device may be unable to write. A resumed
+// evacuation commits with End 'e' and the returned evacuated flag tells
+// recoverRouting to set the source's evac bit.
+func (f *Forest) resolveMigration(at vtime.Ticks, ev *migrationEvent, rules []MoveRule, rep *ForestRecoveryReport) ([]MoveRule, bool, vtime.Ticks, error) {
 	n := len(f.shards)
 	if ev.src < 0 || ev.src >= n || ev.dst < 0 || ev.dst >= n || ev.src == ev.dst {
-		return rules, at, fmt.Errorf("core: migration %d recovers invalid shard pair %d->%d", ev.id, ev.src, ev.dst)
+		return rules, false, at, fmt.Errorf("core: migration %d recovers invalid shard pair %d->%d", ev.id, ev.src, ev.dst)
 	}
 	unlock := f.lockPair(ev.src, ev.dst)
 	defer unlock()
@@ -1063,18 +1253,25 @@ func (f *Forest) resolveMigration(at vtime.Ticks, ev *migrationEvent, rules []Mo
 		return rt.route(k)
 	}
 
-	// Purge stale source copies below the frontier: their deletes were in
-	// the crashed chunk's (or purge's) volatile tail.
-	recs, done, err := src.tree.RangeSearch(at, ev.lo, ev.frontier)
-	if err != nil {
-		return rules, done, err
-	}
-	for _, r := range recs {
-		done, err = src.tree.Delete(done, r.Key)
+	var recs []kv.Record
+	done := at
+	var err error
+	if !ev.evac {
+		// Purge stale source copies below the frontier: their deletes were
+		// in the crashed chunk's (or purge's) volatile tail. Evacuations
+		// skip this — the source is never written and its stale copies are
+		// hidden by the routing evac bit instead.
+		recs, done, err = src.tree.RangeSearch(at, ev.lo, ev.frontier)
 		if err != nil {
-			return rules, done, err
+			return rules, false, done, err
 		}
-		rep.MigrationKeysPurged++
+		for _, r := range recs {
+			done, err = src.tree.Delete(done, r.Key)
+			if err != nil {
+				return rules, false, done, err
+			}
+			rep.MigrationKeysPurged++
+		}
 	}
 	// Purge uncommitted destination remnants at or above the frontier —
 	// but only keys the pre-migration routing assigns to the source; under
@@ -1082,7 +1279,7 @@ func (f *Forest) resolveMigration(at vtime.Ticks, ev *migrationEvent, rules []Mo
 	// the migrating range.
 	recs, done, err = dst.tree.RangeSearch(done, ev.frontier, ev.hi)
 	if err != nil {
-		return rules, done, err
+		return rules, false, done, err
 	}
 	for _, r := range recs {
 		if routeSoFar(r.Key) != ev.src {
@@ -1090,14 +1287,27 @@ func (f *Forest) resolveMigration(at vtime.Ticks, ev *migrationEvent, rules []Mo
 		}
 		done, err = dst.tree.Delete(done, r.Key)
 		if err != nil {
-			return rules, done, err
+			return rules, false, done, err
 		}
 		rep.MigrationKeysPurged++
 	}
+	// Evacuation records ride the destination's log only; a plain
+	// migration logs its end on both sides.
 	logs := f.migrationLogs(ev.src, ev.dst)
+	endShards := []int{ev.src, ev.dst}
+	if ev.evac {
+		endShards = []int{ev.dst}
+		logs = nil
+		if dst.tree.log != nil {
+			logs = []*wal.Log{dst.tree.log}
+		}
+	}
 	if ev.frontier <= ev.lo {
-		// No chunk ever committed: roll the move back entirely.
-		for _, si := range []int{ev.src, ev.dst} {
+		// No chunk ever committed: roll the move back entirely. An aborted
+		// evacuation leaves the source live (no evac bit) — if the device
+		// is still dead, the next write re-quarantines it and the
+		// evacuation deadline fires again.
+		for _, si := range endShards {
 			if l := f.shards[si].tree.log; l != nil {
 				l.Append(wal.Record{
 					Kind: wal.KindMigrationEnd, Relation: f.shards[si].tree.cfg.Relation,
@@ -1109,60 +1319,74 @@ func (f *Forest) resolveMigration(at vtime.Ticks, ev *migrationEvent, rules []Mo
 		if len(logs) > 0 {
 			done, err = f.forceLogs(done, logs)
 			if err != nil {
-				return rules, done, err
+				return rules, false, done, err
 			}
 		}
 		rep.RolledBackMigrations++
-		return rules, done, nil
+		return rules, false, done, nil
 	}
 	// At least one chunk committed: resume. Re-stream [frontier, hi) as
 	// one recovery chunk with the usual discipline, then commit the flip.
 	recs, done, err = src.tree.RangeSearch(done, ev.frontier, ev.hi)
 	if err != nil {
-		return rules, done, err
+		return rules, false, done, err
 	}
 	for _, r := range recs {
 		done, err = dst.tree.Insert(done, r)
 		if err != nil {
-			return rules, done, err
+			return rules, false, done, err
 		}
 		rep.MigrationKeysMoved++
 	}
 	if dst.tree.log != nil {
 		done, err = dst.tree.log.Force(done)
 		if err != nil {
-			return rules, done, err
+			return rules, false, done, err
 		}
 	}
-	if src.tree.log != nil && len(recs) > 0 {
-		src.tree.log.Append(wal.Record{
-			Kind: wal.KindKeyMoved, Relation: src.tree.cfg.Relation,
-			FlushID: ev.id, KeyLo: ev.frontier, KeyHi: ev.hi,
-			Key: uint64(ev.src), Value: uint64(ev.dst),
-		})
-	}
-	for _, r := range recs {
-		done, err = src.tree.Delete(done, r.Key)
-		if err != nil {
-			return rules, done, err
+	if ev.evac {
+		if dst.tree.log != nil && len(recs) > 0 {
+			dst.tree.log.Append(wal.Record{
+				Kind: wal.KindKeyMoved, Relation: dst.tree.cfg.Relation,
+				FlushID: ev.id, KeyLo: ev.frontier, KeyHi: ev.hi,
+				Key: uint64(ev.src), Value: uint64(ev.dst),
+			})
+		}
+	} else {
+		if src.tree.log != nil && len(recs) > 0 {
+			src.tree.log.Append(wal.Record{
+				Kind: wal.KindKeyMoved, Relation: src.tree.cfg.Relation,
+				FlushID: ev.id, KeyLo: ev.frontier, KeyHi: ev.hi,
+				Key: uint64(ev.src), Value: uint64(ev.dst),
+			})
+		}
+		for _, r := range recs {
+			done, err = src.tree.Delete(done, r.Key)
+			if err != nil {
+				return rules, false, done, err
+			}
 		}
 	}
-	for _, si := range []int{ev.src, ev.dst} {
+	endOp := byte('c')
+	if ev.evac {
+		endOp = 'e'
+	}
+	for _, si := range endShards {
 		if l := f.shards[si].tree.log; l != nil {
 			l.Append(wal.Record{
 				Kind: wal.KindMigrationEnd, Relation: f.shards[si].tree.cfg.Relation,
 				FlushID: ev.id, KeyLo: ev.lo, KeyHi: ev.hi,
-				Key: uint64(ev.src), Value: uint64(ev.dst), Op: wal.OpType('c'),
+				Key: uint64(ev.src), Value: uint64(ev.dst), Op: wal.OpType(endOp),
 			})
 		}
 	}
 	if len(logs) > 0 {
 		done, err = f.forceLogs(done, logs)
 		if err != nil {
-			return rules, done, err
+			return rules, false, done, err
 		}
 	}
 	rules = append(rules, MoveRule{Lo: ev.lo, Hi: ev.hi, From: ev.src, To: ev.dst, ID: ev.id})
 	rep.ResumedMigrations++
-	return rules, done, nil
+	return rules, ev.evac, done, nil
 }

@@ -37,6 +37,16 @@ func IsIOFault(err error) bool {
 	return errors.As(err, &t)
 }
 
+// IsWatchdogTimeout reports whether err is (or wraps) a stuck-I/O
+// watchdog firing — an op the I/O plane abandoned at its vtime deadline
+// instead of hanging. Watchdog timeouts are transient (the device may
+// answer a resubmission) and additionally counted on their own stat, so
+// operators can tell a hanging device from an erroring one.
+func IsWatchdogTimeout(err error) bool {
+	var t interface{ WatchdogTimeout() bool }
+	return errors.As(err, &t) && t.WatchdogTimeout()
+}
+
 // RetryPolicy bounds the transient-fault retry loop. The zero value means
 // "defaults" (4 retries, 50µs base backoff doubling up to 2ms), so every
 // existing Config gets resilience without opting in; set Disabled to get
@@ -51,16 +61,43 @@ type RetryPolicy struct {
 	// per attempt up to MaxBackoff (0 means the defaults).
 	BaseBackoff vtime.Ticks
 	MaxBackoff  vtime.Ticks
+	// StuckTimeout is the stuck-I/O watchdog deadline: an engine I/O that
+	// would hang (a stuck fault, a device-wide stall window) longer than
+	// this is abandoned at the deadline with a transient timeout error and
+	// fed into the same retry/quarantine state machine as any other
+	// transient fault. Zero means the default (5ms); negative disarms the
+	// watchdog, letting hangs run their course as latency. The deadline is
+	// armed on the I/O plane via ssdio.Space.SetStuckTimeout by whoever
+	// assembles the stack (the pio facade, the scenario engine, tests) —
+	// StuckDeadline resolves the effective value.
+	StuckTimeout vtime.Ticks
 }
 
 // Default retry bounds: four attempts spanning ~50µs..800µs of backoff,
 // comfortably above the device's GC-stall latencies but far below a
-// scenario phase.
+// scenario phase. The default watchdog deadline sits below faultio's
+// 10ms default stuck hang, so stuck ops trip the watchdog out of the
+// box.
 const (
-	defaultMaxRetries  = 4
-	defaultBaseBackoff = 50 * vtime.Microsecond
-	defaultMaxBackoff  = 2 * vtime.Millisecond
+	defaultMaxRetries   = 4
+	defaultBaseBackoff  = 50 * vtime.Microsecond
+	defaultMaxBackoff   = 2 * vtime.Millisecond
+	defaultStuckTimeout = 5 * vtime.Millisecond
 )
+
+// StuckDeadline resolves the effective stuck-I/O watchdog deadline:
+// the configured StuckTimeout, the package default when zero, or 0
+// (disarmed) when negative.
+func (p RetryPolicy) StuckDeadline() vtime.Ticks {
+	switch {
+	case p.StuckTimeout < 0:
+		return 0
+	case p.StuckTimeout == 0:
+		return defaultStuckTimeout
+	default:
+		return p.StuckTimeout
+	}
+}
 
 // norm resolves the zero-value defaults.
 func (p RetryPolicy) norm() RetryPolicy {
@@ -98,12 +135,25 @@ type retryStats struct {
 	// IORetriesExhausted counts transient faults that survived every
 	// retry (the events that escalate to quarantine).
 	IORetriesExhausted int64
+	// WatchdogTimeouts counts stuck-I/O watchdog firings: hanging ops
+	// abandoned at their vtime deadline (a subset of the transient
+	// failures above).
+	WatchdogTimeouts int64
 }
 
 func (s *retryStats) add(o retryStats) {
 	s.IORetries += o.IORetries
 	s.IORetryBackoff += o.IORetryBackoff
 	s.IORetriesExhausted += o.IORetriesExhausted
+	s.WatchdogTimeouts += o.WatchdogTimeouts
+}
+
+// countWatchdog classifies one failed attempt's error onto the watchdog
+// counter.
+func countWatchdog(ctr *retryStats, err error) {
+	if err != nil && ctr != nil && IsWatchdogTimeout(err) {
+		ctr.WatchdogTimeouts++
+	}
 }
 
 // retryTimedIO runs a timed I/O operation, re-attempting transient
@@ -115,6 +165,7 @@ func (s *retryStats) add(o retryStats) {
 // return immediately.
 func retryTimedIO(pol RetryPolicy, ctr *retryStats, at vtime.Ticks, op func(vtime.Ticks) (vtime.Ticks, error)) (vtime.Ticks, error) {
 	done, err := op(at)
+	countWatchdog(ctr, err)
 	if err == nil || pol.Disabled {
 		return done, err
 	}
@@ -126,6 +177,7 @@ func retryTimedIO(pol RetryPolicy, ctr *retryStats, at vtime.Ticks, op func(vtim
 			ctr.IORetryBackoff += wait
 		}
 		done, err = op(done + wait)
+		countWatchdog(ctr, err)
 	}
 	if err != nil && IsTransientIO(err) && ctr != nil {
 		ctr.IORetriesExhausted++

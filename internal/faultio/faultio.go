@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/flashsim"
 	"repro/internal/ssdio"
 	"repro/internal/vtime"
 )
@@ -37,6 +38,18 @@ const (
 	// Stuck blocks the unit for Delay (the caller's timeout window) and
 	// then fails it transiently — a hung op that was given up on.
 	Stuck
+	// Stall completes the unit successfully after hanging until its stall
+	// window closes — a correlated, device-wide GC pause rather than a
+	// per-unit fault. Unlike Latency the wait is a non-responsive hang
+	// (FaultDecision.Hang): a Space with an armed stuck-I/O watchdog
+	// abandons it at the deadline with a transient ssdio.StuckError
+	// instead of waiting the window out.
+	Stall
+	// ReadOnly marks the file's write path dead — the end-of-life failure
+	// mode of real SSDs — failing every later unit that contains a write
+	// while reads keep succeeding, so committed state stays evacuable.
+	// Revive clears the mark.
+	ReadOnly
 )
 
 // String names the kind for errors and stats.
@@ -50,6 +63,10 @@ func (k Kind) String() string {
 		return "latency"
 	case Stuck:
 		return "stuck"
+	case Stall:
+		return "stall"
+	case ReadOnly:
+		return "readonly"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -75,8 +92,15 @@ type Rule struct {
 	// scheduled window rather than a probabilistic fault).
 	P float64
 	// Delay is the latency-spike length (Latency), the hang before the
-	// timeout error (Stuck), or extra blocked time on a failure.
+	// timeout error (Stuck), the stall-window length (Stall), or extra
+	// blocked time on a failure.
 	Delay vtime.Ticks
+	// Every, for Stall rules only, repeats the stall periodically: within
+	// each Every-long period starting at From, the first Delay ticks are a
+	// device-wide hang (a unit deciding mid-window hangs until the window
+	// closes). Zero means one stall window [From, Until) — or
+	// [From, From+Delay) when Until is unset.
+	Every vtime.Ticks
 }
 
 // matches reports whether the rule applies to this decision at all.
@@ -114,7 +138,12 @@ type Stats struct {
 	Permanent int64
 	Latency   int64
 	Stuck     int64
-	DeadFiles int
+	// Stalled counts units that hit a device-wide stall window; ReadOnly
+	// counts write units rejected by a read-only file mark.
+	Stalled       int64
+	ReadOnly      int64
+	DeadFiles     int
+	ReadOnlyFiles int
 }
 
 // Plane is a compiled, stateful fault injector for one ssdio.Space.
@@ -122,9 +151,10 @@ type Plane struct {
 	seed  uint64
 	rules []Rule
 
-	mu    sync.Mutex
-	dead  map[string]bool // guarded by mu — files failed permanently
-	stats Stats           // guarded by mu
+	mu     sync.Mutex
+	dead   map[string]bool // guarded by mu — files failed permanently
+	rodead map[string]bool // guarded by mu — files whose write path died
+	stats  Stats           // guarded by mu
 }
 
 // Plane implements ssdio.Injector.
@@ -134,7 +164,7 @@ var _ ssdio.Injector = (*Plane)(nil)
 func New(p Program) *Plane {
 	rules := make([]Rule, len(p.Rules))
 	copy(rules, p.Rules)
-	return &Plane{seed: p.Seed, rules: rules, dead: make(map[string]bool)}
+	return &Plane{seed: p.Seed, rules: rules, dead: make(map[string]bool), rodead: make(map[string]bool)}
 }
 
 // Stats snapshots the injection counters.
@@ -143,15 +173,18 @@ func (pl *Plane) Stats() Stats {
 	defer pl.mu.Unlock()
 	s := pl.stats
 	s.DeadFiles = len(pl.dead)
+	s.ReadOnlyFiles = len(pl.rodead)
 	return s
 }
 
-// Revive clears a file's permanent-failure mark (the simulated drive
-// slice was replaced); Heal tests use it to let recovery succeed.
+// Revive clears a file's permanent-failure and read-only marks (the
+// simulated drive slice was replaced); Heal tests use it to let recovery
+// succeed.
 func (pl *Plane) Revive(file string) {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	delete(pl.dead, file)
+	delete(pl.rodead, file)
 }
 
 // Decide implements ssdio.Injector: one deterministic ruling per
@@ -162,6 +195,10 @@ func (pl *Plane) Decide(file, call string, at vtime.Ticks, reqs []ssdio.Req) ssd
 	if pl.dead[file] {
 		pl.stats.Permanent++
 		return ssdio.FaultDecision{Err: &FaultError{Kind: Permanent, File: file, Call: call, At: at}}
+	}
+	if pl.rodead[file] && hasWrite(reqs) {
+		pl.stats.ReadOnly++
+		return ssdio.FaultDecision{Err: &FaultError{Kind: ReadOnly, File: file, Call: call, At: at}}
 	}
 	var delay vtime.Ticks
 	for i, r := range pl.rules {
@@ -194,10 +231,63 @@ func (pl *Plane) Decide(file, call string, at vtime.Ticks, reqs []ssdio.Req) ssd
 			return ssdio.FaultDecision{
 				Err:   &FaultError{Kind: Stuck, File: file, Call: call, At: at},
 				Delay: delay + d,
+				Hang:  true,
+			}
+		case Stall:
+			remain, active := stallRemaining(r, at)
+			if !active {
+				continue
+			}
+			pl.stats.Stalled++
+			return ssdio.FaultDecision{Delay: delay + remain, Hang: true}
+		case ReadOnly:
+			pl.rodead[file] = true
+			if !hasWrite(reqs) {
+				continue // reads keep succeeding on a read-only device
+			}
+			pl.stats.ReadOnly++
+			return ssdio.FaultDecision{
+				Err:   &FaultError{Kind: ReadOnly, File: file, Call: call, At: at},
+				Delay: delay + r.Delay,
 			}
 		}
 	}
 	return ssdio.FaultDecision{Delay: delay}
+}
+
+// stallRemaining computes how much of a stall rule's hang remains at the
+// decision time, and whether the stall is active at all (a periodic rule
+// is quiet between pulses).
+func stallRemaining(r Rule, at vtime.Ticks) (vtime.Ticks, bool) {
+	length := r.Delay
+	if length == 0 {
+		length = defaultStuckDelay
+	}
+	if r.Every > 0 {
+		phase := (at - r.From) % r.Every
+		if phase >= length {
+			return 0, false
+		}
+		return length - phase, true
+	}
+	end := r.Until
+	if end == 0 {
+		end = r.From + length
+	}
+	if at >= end {
+		return 0, false
+	}
+	return end - at, true
+}
+
+// hasWrite reports whether the unit contains any write request.
+func hasWrite(reqs []ssdio.Req) bool {
+	for _, r := range reqs {
+		if r.Op == flashsim.Write {
+			return true
+		}
+	}
+	return false
 }
 
 // fires rolls the rule's deterministic dice for this decision.

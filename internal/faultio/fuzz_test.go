@@ -1,0 +1,126 @@
+package faultio
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+// kindWord maps a Kind back to its clause keyword.
+func kindWord(k Kind) string {
+	switch k {
+	case Transient:
+		return "transient"
+	case Permanent:
+		return "permanent"
+	case Latency:
+		return "latency"
+	case Stuck:
+		return "stuck"
+	case Stall:
+		return "stall"
+	case ReadOnly:
+		return "readonly"
+	}
+	return fmt.Sprintf("kind%d", k)
+}
+
+// formatProgram renders a parsed Program back into the fault language
+// in canonical form: a seed clause, then one clause per rule with
+// durations in nanoseconds and zero-valued fields omitted.
+func formatProgram(p Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d\n", p.Seed)
+	for _, r := range p.Rules {
+		b.WriteString(kindWord(r.Kind))
+		if r.File != "" {
+			fmt.Fprintf(&b, " file=%s", r.File)
+		}
+		if r.Call != "" {
+			fmt.Fprintf(&b, " call=%s", r.Call)
+		}
+		if r.P != 0 {
+			fmt.Fprintf(&b, " p=%s", strconv.FormatFloat(r.P, 'g', -1, 64))
+		}
+		if r.From != 0 {
+			fmt.Fprintf(&b, " from=%dns", r.From)
+		}
+		if r.Until != 0 {
+			fmt.Fprintf(&b, " until=%dns", r.Until)
+		}
+		if r.Delay != 0 {
+			fmt.Fprintf(&b, " delay=%dns", r.Delay)
+		}
+		if r.Every != 0 {
+			fmt.Fprintf(&b, " every=%dns", r.Every)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FuzzParseFaults checks that Parse never panics, that every program it
+// accepts is internally sane (probabilities in [0,1], durations
+// non-negative and overflow-safe), and that the canonical re-rendering
+// of an accepted program parses back to the identical Program.
+func FuzzParseFaults(f *testing.F) {
+	seeds := []string{
+		"",
+		"seed=7; transient call=sync p=0.002; transient call=psync p=0.002; transient call=gang p=0.004",
+		"readonly file=wal2 from=8ms",
+		"stall delay=20ms every=60ms from=1ms",
+		"stuck call=gang file=shard0 until=5ms delay=2ms",
+		"latency delay=200us p=0.1",
+		"permanent file=pio-1-shard-2 from=30ms # dead controller",
+		"transient file=wal* call=gang p=0.25 from=10ms until=50ms\nlatency delay=1us",
+		"seed=18446744073709551615",
+		"stall delay=1ns",
+		"transient p=1.5",
+		"latency",
+		"stuck every=5ms",
+		"from=3ms",
+		"transient from=9999999999999999999999s",
+		"latency delay=NaNms p=NaN",
+		"readonly file== p=0",
+		"transient file=a=b until=2µs",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		p1, err := Parse(text)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		for _, r := range p1.Rules {
+			if !(r.P >= 0 && r.P <= 1) {
+				t.Fatalf("accepted probability %v out of [0,1] in %+v", r.P, r)
+			}
+			for _, d := range []vtime.Ticks{r.From, r.Until, r.Delay, r.Every} {
+				if d < 0 {
+					t.Fatalf("accepted negative duration in %+v", r)
+				}
+			}
+			if r.Every > 0 && r.Kind != Stall {
+				t.Fatalf("every= accepted on non-stall rule %+v", r)
+			}
+			// Durations past float64's integer precision cannot re-render
+			// exactly; the sanity checks above still ran.
+			if r.From > 1<<52 || r.Until > 1<<52 || r.Delay > 1<<52 || r.Every > 1<<52 {
+				return
+			}
+		}
+		canon := formatProgram(p1)
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q failed to parse: %v", canon, text, err)
+		}
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("round trip diverged:\n in:  %q -> %+v\n out: %q -> %+v", text, p1, canon, p2)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package faultio
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -17,11 +18,15 @@ import (
 //	latency delay=200us p=0.1
 //	permanent file=pio-1-shard-2 from=30ms
 //	stuck call=psync delay=5ms p=0.01
+//	stall from=5ms delay=2ms every=20ms
+//	readonly file=pio-1-wal-2 from=30ms
 //
 // The first word of a clause is the fault kind (or the seed setting);
 // the remaining key=value fields fill the Rule. Durations accept ns, us,
 // µs, ms, and s suffixes; a bare number is nanoseconds. An omitted p
-// means the rule always fires inside its window.
+// means the rule always fires inside its window. every= is valid only on
+// stall rules (a periodic device-wide pulse of delay= length) and
+// requires an explicit delay=.
 func Parse(text string) (Program, error) {
 	var p Program
 	for _, line := range strings.FieldsFunc(text, func(r rune) bool { return r == '\n' || r == ';' }) {
@@ -54,6 +59,10 @@ func Parse(text string) (Program, error) {
 			r.Kind = Latency
 		case "stuck":
 			r.Kind = Stuck
+		case "stall":
+			r.Kind = Stall
+		case "readonly":
+			r.Kind = ReadOnly
 		default:
 			return Program{}, fmt.Errorf("faultio: unknown fault kind %q", head)
 		}
@@ -75,7 +84,9 @@ func Parse(text string) (Program, error) {
 				}
 			case "p":
 				r.P, err = strconv.ParseFloat(val, 64)
-				if err == nil && (r.P < 0 || r.P > 1) {
+				// The inverted comparison also rejects NaN, which would
+				// slip through `< 0 || > 1` and make fires() misbehave.
+				if err == nil && !(r.P >= 0 && r.P <= 1) {
 					err = fmt.Errorf("probability out of [0,1]")
 				}
 			case "from":
@@ -84,6 +95,8 @@ func Parse(text string) (Program, error) {
 				r.Until, err = parseTicks(val)
 			case "delay":
 				r.Delay, err = parseTicks(val)
+			case "every":
+				r.Every, err = parseTicks(val)
 			default:
 				return Program{}, fmt.Errorf("faultio: unknown field %q", key)
 			}
@@ -93,6 +106,12 @@ func Parse(text string) (Program, error) {
 		}
 		if r.Kind == Latency && r.Delay == 0 {
 			return Program{}, fmt.Errorf("faultio: latency rule needs delay=")
+		}
+		if r.Every > 0 && r.Kind != Stall {
+			return Program{}, fmt.Errorf("faultio: every= is only valid on stall rules")
+		}
+		if r.Kind == Stall && r.Every > 0 && r.Delay == 0 {
+			return Program{}, fmt.Errorf("faultio: periodic stall rule needs delay=")
 		}
 		p.Rules = append(p.Rules, r)
 	}
@@ -123,8 +142,18 @@ func parseTicks(s string) (vtime.Ticks, error) {
 	if err != nil {
 		return 0, err
 	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite duration")
+	}
 	if v < 0 {
 		return 0, fmt.Errorf("negative duration")
 	}
-	return vtime.Ticks(v * float64(unit)), nil
+	// Cap well below the int64 range: an overflowing float-to-Ticks
+	// conversion is implementation-specific (it can wrap negative), and
+	// the injectors add delays to the clock, which must never overflow.
+	t := v * float64(unit)
+	if t > float64(math.MaxInt64/4) {
+		return 0, fmt.Errorf("duration too large")
+	}
+	return vtime.Ticks(t), nil
 }

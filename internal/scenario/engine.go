@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -92,6 +93,20 @@ type PhaseResult struct {
 	// IORetries counts transient-fault I/O retries charged in the phase
 	// (zero on a clean plane).
 	IORetries int64
+	// Rejected counts ops the forest refused in degraded mode
+	// (ErrShardQuarantined): availability lost to a quarantined shard
+	// between its failure and its heal or evacuation.
+	Rejected int
+	// HealProbes/AutoHeals are the phase's auto-heal prober activity:
+	// probe I/Os issued against quarantined shards and successful
+	// re-admissions.
+	HealProbes, AutoHeals int64
+	// EvacuatedChunks counts evacuation chunks streamed off quarantined
+	// shards during the phase.
+	EvacuatedChunks int64
+	// WatchdogTimeouts counts stuck-I/O watchdog firings (hanging ops
+	// abandoned at their vtime deadline) in the phase.
+	WatchdogTimeouts int64
 	// RedoneEntries/RecoverMS report the crash-restart replay (zero for
 	// phases without CrashRestart).
 	RedoneEntries int64
@@ -120,6 +135,21 @@ type Result struct {
 	// quarantined fails outright, like one that lost a key.
 	FaultProgram                  string
 	IORetries, IORetriesExhausted int64
+	// Self-healing totals: probe I/Os against quarantined shards,
+	// successful auto-heals, committed quarantine evacuations and the
+	// chunks they streamed, and stuck-I/O watchdog firings.
+	HealProbes, AutoHeals        int64
+	Evacuations, EvacuatedChunks int64
+	WatchdogTimeouts             int64
+	// Rejected is the total count of ops refused in degraded mode.
+	Rejected int
+	// LostUncommitted is ExpectedKeys minus FinalKeys when a permanent
+	// device loss was evacuated: inserts acknowledged into a shard's OPQ
+	// whose redo records were still in the WAL's unforced tail when the
+	// device died were never committed, exactly like unsynced writes in a
+	// crash. Bounded by the OPQ budget; zero on every run without an
+	// evacuation.
+	LostUncommitted int64
 	// End is the scenario makespan.
 	End vtime.Ticks
 }
@@ -192,16 +222,17 @@ func Run(sc Scenario, cfg Config) (*Result, error) {
 		preStats := e.fr.Stats()
 		preDev := e.dev.Stats()
 		preRetunes := pr.Retunes
-		end, lat, retunes, err := e.runPhase(now, ops)
+		end, lat, retunes, rejected, rejectedInserts, err := e.runPhase(now, ops)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: phase %s: %w", sc.Name, ph.Name, err)
 		}
-		e.expected += int64(inserts)
+		e.expected += int64(inserts) - int64(rejectedInserts)
 		postStats := e.fr.Stats()
 		postDev := e.dev.Stats()
 
 		pr.Ops = len(ops)
-		pr.Inserts = inserts
+		pr.Inserts = inserts - rejectedInserts
+		pr.Rejected = rejected
 		pr.End = end
 		elapsed := end - now
 		if elapsed > 0 {
@@ -216,7 +247,12 @@ func Run(sc Scenario, cfg Config) (*Result, error) {
 		pr.GangSubmits = postStats.GangSubmits - preStats.GangSubmits
 		pr.GCStalls = postDev.GCStalls - preDev.GCStalls
 		pr.IORetries = postStats.IORetries - preStats.IORetries
+		pr.HealProbes = postStats.HealProbes - preStats.HealProbes
+		pr.AutoHeals = postStats.AutoHeals - preStats.AutoHeals
+		pr.EvacuatedChunks = postStats.EvacuatedChunks - preStats.EvacuatedChunks
+		pr.WatchdogTimeouts = postStats.WatchdogTimeouts - preStats.WatchdogTimeouts
 		res.Phases = append(res.Phases, pr)
+		res.Rejected += rejected
 		now = end
 	}
 	if err := e.fr.CheckInvariants(); err != nil {
@@ -225,7 +261,20 @@ func Run(sc Scenario, cfg Config) (*Result, error) {
 	st := e.fr.Stats()
 	res.ExpectedKeys = e.expected
 	res.FinalKeys = e.fr.Count()
-	if res.FinalKeys != res.ExpectedKeys {
+	if st.Evacuations > 0 {
+		// A permanent device loss was evacuated: acknowledged inserts whose
+		// redo records sat in the dead WAL's unforced tail were never
+		// committed and are legitimately gone — like unsynced writes in a
+		// crash — but the loss must stay bounded by the OPQ budget (one
+		// flush round's worth of buffered entries per incident), and no
+		// COMMITTED key may be missing.
+		maxLoss := int64((e.appliedO + e.shards) * (pageSize / kv.EntrySize))
+		res.LostUncommitted = res.ExpectedKeys - res.FinalKeys
+		if res.LostUncommitted < 0 || res.LostUncommitted > maxLoss*st.Evacuations {
+			return nil, fmt.Errorf("scenario %s: lost keys beyond the uncommitted tail: forest holds %d, expected %d (tolerance %d over %d evacuations)",
+				sc.Name, res.FinalKeys, res.ExpectedKeys, maxLoss*st.Evacuations, st.Evacuations)
+		}
+	} else if res.FinalKeys != res.ExpectedKeys {
 		return nil, fmt.Errorf("scenario %s: lost keys: forest holds %d, expected %d", sc.Name, res.FinalKeys, res.ExpectedKeys)
 	}
 	res.RoutingEpoch = st.RoutingEpoch
@@ -235,6 +284,11 @@ func Run(sc Scenario, cfg Config) (*Result, error) {
 	res.FaultProgram = e.faults
 	res.IORetries = st.IORetries
 	res.IORetriesExhausted = st.IORetriesExhausted
+	res.HealProbes = st.HealProbes
+	res.AutoHeals = st.AutoHeals
+	res.Evacuations = st.Evacuations
+	res.EvacuatedChunks = st.EvacuatedChunks
+	res.WatchdogTimeouts = st.WatchdogTimeouts
 	if st.QuarantinedShards > 0 {
 		return nil, fmt.Errorf("scenario %s: run ended with %d shards quarantined", sc.Name, st.QuarantinedShards)
 	}
@@ -276,6 +330,10 @@ func build(sc Scenario, cfg Config) (*engine, error) {
 
 	e.dev = flashsim.MustDevice(cfg.Device)
 	space := ssdio.NewSpace(e.dev)
+	// Arm the stuck-I/O watchdog at the forest's (default) retry-policy
+	// deadline, so a hanging device trips a transient timeout into the
+	// retry/quarantine machine instead of stretching an op's latency.
+	space.SetStuckTimeout(core.RetryPolicy{}.StuckDeadline())
 	pfs := make([]*pagefile.PageFile, e.shards)
 	logs := make([]*wal.Log, e.shards)
 	perShardBytes := int64(n)*64/int64(e.shards) + 1<<20
@@ -319,7 +377,9 @@ func build(sc Scenario, cfg Config) (*engine, error) {
 			BufferBytes: bufBytes,
 			CPUPerNode:  cpuPerNode,
 		},
-		Logs: logs,
+		Logs:       logs,
+		Heal:       sc.Heal,
+		Evacuation: sc.Evacuation,
 	})
 	if err != nil {
 		return nil, err
@@ -432,11 +492,13 @@ func (e *engine) crashRestart(now vtime.Ticks, pr *PhaseResult) (vtime.Ticks, er
 // runPhase replays the phase's ops round-robin over the workload threads
 // plus, when configured, one adaptation thread polling AutoRebalance and
 // the eq.-(10) retuner. Returns the phase end time, the per-op latency
-// samples, and the number of applied retunes.
-func (e *engine) runPhase(base vtime.Ticks, ops []workload.Op) (vtime.Ticks, []vtime.Ticks, int, error) {
+// samples, the number of applied retunes, and the degraded-mode
+// rejection counts (all ops, and the inserts among them).
+func (e *engine) runPhase(base vtime.Ticks, ops []workload.Op) (vtime.Ticks, []vtime.Ticks, int, int, int, error) {
 	threads := e.threads
 	active := threads
 	var opErr error
+	rejected, rejectedInserts := 0, 0
 	lat := make([]vtime.Ticks, 0, len(ops))
 	workers := make([]*vtime.Thread, 0, threads)
 	ths := make([]*vtime.Thread, 0, threads+1)
@@ -460,6 +522,19 @@ func (e *engine) runPhase(base vtime.Ticks, ops []workload.Op) (vtime.Ticks, []v
 				_, _, done, err = e.fr.Search(start, op.Rec.Key)
 			}
 			if err != nil {
+				if errors.Is(err, core.ErrShardQuarantined) {
+					// Degraded mode is availability loss, not scenario
+					// failure: the shard's writes are refused between its
+					// quarantine and its heal or evacuation. Count the
+					// rejection and keep the client running — the baseline
+					// gates how much rejection a scenario may see.
+					rejected++
+					if op.Kind == workload.OpInsert {
+						rejectedInserts++
+					}
+					t.Clock.AdvanceTo(vtime.Max(done, start))
+					return true
+				}
 				opErr = err
 				active--
 				return false
@@ -501,9 +576,9 @@ func (e *engine) runPhase(base vtime.Ticks, ops []workload.Op) (vtime.Ticks, []v
 		end = vtime.Max(end, t.Clock.Now())
 	}
 	if opErr != nil {
-		return end, nil, retunes, opErr
+		return end, nil, retunes, rejected, rejectedInserts, opErr
 	}
-	return end, lat, retunes, nil
+	return end, lat, retunes, rejected, rejectedInserts, nil
 }
 
 // defaultDrainBudget bounds the adaptation thread's per-poll migration

@@ -107,6 +107,13 @@ type Scenario struct {
 	// an explicit seed is seeded from the run's Config.Seed.
 	// Config.FaultProgram overrides it per run.
 	Faults string
+	// Heal paces the forest's auto-heal prober for quarantined shards
+	// (zero value = core defaults).
+	Heal core.HealPolicy
+	// Evacuation bounds how long a shard may stay quarantined before the
+	// adaptation loop's AutoRebalance migrates its range to healthy
+	// shards (zero value = core default deadline).
+	Evacuation core.EvacuationPolicy
 	// Phases run in order.
 	Phases []Phase
 }

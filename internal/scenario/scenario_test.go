@@ -258,3 +258,58 @@ func TestRunRejectsInvalid(t *testing.T) {
 		t.Fatal("Run accepted too few entries for the stripe count")
 	}
 }
+
+// TestRunBlackoutEvacuates checks the self-healing gauntlet end to end:
+// the dead WAL quarantines its shard, heal probes run but cannot
+// re-admit it, the evacuation deadline trips and the adaptation loop
+// streams the committed range to healthy shards, and the run ends with
+// the shard evacuated — no shard left quarantined, every committed key
+// served, and the degraded window's rejections counted.
+func TestRunBlackoutEvacuates(t *testing.T) {
+	res, err := Run(Blackout(), tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evacuations == 0 {
+		t.Fatalf("blackout run committed no evacuation: %+v", res)
+	}
+	if res.EvacuatedChunks == 0 {
+		t.Fatal("evacuation streamed no chunks")
+	}
+	if res.HealProbes == 0 {
+		t.Fatal("no heal probes issued against the quarantined shard")
+	}
+	if res.AutoHeals != 0 {
+		t.Fatalf("a permanently dead WAL auto-healed %d times", res.AutoHeals)
+	}
+	if res.Rejected == 0 {
+		t.Fatal("no writes were rejected during the degraded window")
+	}
+	if res.LostUncommitted < 0 {
+		t.Fatalf("negative uncommitted loss %d", res.LostUncommitted)
+	}
+	// The run's own invariants already bound LostUncommitted by the OPQ
+	// budget and require FinalKeys to cover everything else.
+	if res.FinalKeys+res.LostUncommitted != res.ExpectedKeys {
+		t.Fatalf("accounting broken: final %d + lost %d != expected %d",
+			res.FinalKeys, res.LostUncommitted, res.ExpectedKeys)
+	}
+}
+
+// TestRunBlackoutDeterministic double-runs blackout: degraded-mode
+// rejections, evacuation scheduling and the healing counters must all be
+// byte-deterministic like every other scenario.
+func TestRunBlackoutDeterministic(t *testing.T) {
+	cfg := tinyConfig()
+	a, err := Run(Blackout(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Blackout(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two blackout runs diverged:\n%+v\n%+v", a, b)
+	}
+}

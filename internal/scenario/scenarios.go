@@ -20,7 +20,7 @@ func Named(name string) (Scenario, error) {
 
 // All returns the named scenario suite in a fixed order.
 func All() []Scenario {
-	return []Scenario{Diurnal(), SkewDrift(), BurstCrash(), Chaos()}
+	return []Scenario{Diurnal(), SkewDrift(), BurstCrash(), Chaos(), Blackout()}
 }
 
 // adaptEvery is the default adaptation poll period: long enough that a
@@ -110,6 +110,32 @@ func Chaos() Scenario {
 	sc.Title = "Diurnal rotation under a transient-fault I/O plane"
 	sc.Faults = "seed=7; transient call=sync p=0.002; transient call=psync p=0.002; transient call=gang p=0.004"
 	sc.Phases[len(sc.Phases)-1].CrashRestart = true
+	return sc
+}
+
+// Blackout is the self-healing gauntlet: the diurnal rotation loses one
+// shard's WAL device permanently mid-run (writes to it fail forever,
+// reads keep working — a wear-out or controller fault, not a crash). The
+// first failed group-commit force quarantines the shard; auto-heal
+// probes reach the device but the force-tail re-admission test keeps
+// failing, so the evacuation deadline trips and the adaptation loop
+// migrates the shard's committed range to healthy shards. The run must
+// end with the dead shard evacuated (capacity lost, availability
+// restored): writes rejected during the degraded window are counted and
+// gated, every committed key is served, and the final phases' gated
+// throughput/latency show the SLA recovering on the surviving shards.
+func Blackout() Scenario {
+	sc := Diurnal()
+	sc.Name = "blackout"
+	sc.Title = "Permanent WAL loss mid-diurnal: quarantine, auto-evacuation, SLA recovery"
+	// Kill shard 2's WAL early in the run. Only the log file dies: the
+	// quarantine rollback stays in-memory (no durable FlushStart means no
+	// undo writes), so the shard keeps serving reads until evacuated.
+	sc.Faults = "readonly file=wal2 from=8ms"
+	// A short evacuation deadline (vs the 25ms core default) makes the
+	// scenario give up on the dead device while the quick CI scale still
+	// has most of the run left to measure the recovered SLA.
+	sc.Evacuation = core.EvacuationPolicy{After: 5 * vtime.Millisecond}
 	return sc
 }
 

@@ -29,6 +29,12 @@ type FaultDecision struct {
 	// Delay is extra blocked time on the vtime clock: a latency spike when
 	// Err is nil, the hang before the failure surfaces when Err is set.
 	Delay vtime.Ticks
+	// Hang marks Delay as a non-responsive hang (a stuck op, a device-wide
+	// stall window) rather than a bounded latency spike. Hangs are
+	// eligible for the Space's stuck-I/O watchdog (SetStuckTimeout), which
+	// abandons them at the armed deadline with a StuckError instead of
+	// blocking for the full hang.
+	Hang bool
 }
 
 // Injector intercepts submissions on a Space. Decide is consulted once
@@ -65,6 +71,60 @@ func (s *Space) injector() Injector {
 	}
 	return nil
 }
+
+// SetStuckTimeout arms the Space's stuck-I/O watchdog: a submission unit
+// whose fault ruling hangs (FaultDecision.Hang) longer than t is
+// abandoned after exactly t ticks with a StuckError instead of blocking
+// for the full hang. Zero (the default) disarms the watchdog, so hangs
+// run their course as pure latency. A timed-out unit never touched file
+// contents — the durable state it leaves equals a crash before the
+// write, the same contract as every other injected failure.
+func (s *Space) SetStuckTimeout(t vtime.Ticks) { s.stuck.Store(int64(t)) }
+
+// StuckTimeout returns the armed watchdog deadline (0 = disarmed).
+func (s *Space) StuckTimeout() vtime.Ticks { return vtime.Ticks(s.stuck.Load()) }
+
+// watchdog caps a hanging decision at the Space's stuck timeout.
+func (s *Space) watchdog(file, call string, at vtime.Ticks, d FaultDecision) FaultDecision {
+	wd := s.StuckTimeout()
+	if wd <= 0 || !d.Hang || d.Delay <= wd {
+		return d
+	}
+	return FaultDecision{
+		Err:   &StuckError{File: file, Call: call, At: at, Hang: d.Delay, Timeout: wd, Cause: d.Err},
+		Delay: wd,
+		Hang:  true,
+	}
+}
+
+// StuckError reports a submission unit abandoned by the stuck-I/O
+// watchdog: the fault plane ruled it would hang for Hang ticks, past the
+// armed Timeout deadline, so the caller gave up at the deadline. The
+// unit's contents were never applied. It classifies as transient (the
+// device may answer a resubmission) and carries the WatchdogTimeout
+// marker that retry layers count on.
+type StuckError struct {
+	File    string
+	Call    string
+	At      vtime.Ticks
+	Hang    vtime.Ticks // how long the unit would have hung
+	Timeout vtime.Ticks // the armed watchdog deadline
+	Cause   error       // the hang's underlying injected fault, if any
+}
+
+func (e *StuckError) Error() string {
+	return fmt.Sprintf("ssdio: stuck %s on %s at %s: watchdog fired after %s (op would hang %s)",
+		e.Call, e.File, e.At, e.Timeout, e.Hang)
+}
+
+// Unwrap exposes the hang's underlying injected fault for errors.Is.
+func (e *StuckError) Unwrap() error { return e.Cause }
+
+// TransientIO: a timed-out op may succeed when resubmitted.
+func (e *StuckError) TransientIO() bool { return true }
+
+// WatchdogTimeout marks the error as a stuck-I/O watchdog firing.
+func (e *StuckError) WatchdogTimeout() bool { return true }
 
 // GangFault describes one failed member batch of a PsyncGang submission.
 type GangFault struct {

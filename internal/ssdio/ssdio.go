@@ -63,6 +63,10 @@ type Space struct {
 	// before the hook existed.
 	inj atomic.Pointer[injectorBox]
 
+	// stuck is the armed stuck-I/O watchdog deadline in ticks (see
+	// SetStuckTimeout); 0 means disarmed.
+	stuck atomic.Int64
+
 	mu    sync.Mutex
 	next  int64            // guarded by mu
 	files map[string]*File // guarded by mu
@@ -220,7 +224,7 @@ func (f *File) Psync(at vtime.Ticks, reqs []Req) (vtime.Ticks, error) {
 	}
 	subAt := at
 	if inj := f.space.injector(); inj != nil {
-		d := inj.Decide(f.name, CallPsync, at, reqs)
+		d := f.space.watchdog(f.name, CallPsync, at, inj.Decide(f.name, CallPsync, at, reqs))
 		if d.Err != nil {
 			// The call blocked (and is charged) like a real submission,
 			// but no contents were applied and nothing reached the device:
@@ -305,7 +309,7 @@ func PsyncGang(at vtime.Ticks, batches []GangBatch) (vtime.Ticks, error) {
 			if len(b.Reqs) == 0 {
 				continue
 			}
-			d := inj.Decide(b.F.name, CallGang, at, b.Reqs)
+			d := space.watchdog(b.F.name, CallGang, at, inj.Decide(b.F.name, CallGang, at, b.Reqs))
 			if d.Delay > delay {
 				delay = d.Delay
 			}
@@ -381,7 +385,7 @@ func PsyncGang(at vtime.Ticks, batches []GangBatch) (vtime.Ticks, error) {
 func (f *File) Sync(at vtime.Ticks, r Req) (vtime.Ticks, error) {
 	subAt := at
 	if inj := f.space.injector(); inj != nil {
-		d := inj.Decide(f.name, CallSync, at, []Req{r})
+		d := f.space.watchdog(f.name, CallSync, at, inj.Decide(f.name, CallSync, at, []Req{r}))
 		if d.Err != nil {
 			f.mu.Lock()
 			f.stats.SyncCalls++

@@ -64,6 +64,12 @@ const (
 	// the encoded rule list), so log head truncation never strands the
 	// routing state reconstruction.
 	KindRoutingSnapshot
+	// KindHealProbe is a no-op record a Heal appends before forcing the
+	// tail, so re-admitting a quarantined shard always exercises the log
+	// device's WRITE path (a rolled-back tail may be empty, and forcing
+	// an empty tail issues no I/O — a read-only device would "pass").
+	// Every replay scan ignores it.
+	KindHealProbe
 )
 
 // String names the kind.
@@ -89,6 +95,8 @@ func (k Kind) String() string {
 		return "migration-end"
 	case KindRoutingSnapshot:
 		return "routing-snapshot"
+	case KindHealProbe:
+		return "heal-probe"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

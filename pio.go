@@ -154,6 +154,15 @@ type Options struct {
 // RetryPolicy bounds the transient-fault retry loop; see core.RetryPolicy.
 type RetryPolicy = core.RetryPolicy
 
+// HealPolicy paces quarantined-shard auto-heal probing; see
+// core.HealPolicy.
+type HealPolicy = core.HealPolicy
+
+// EvacuationPolicy bounds how long a quarantined shard may stay degraded
+// before its range is migrated to healthy shards; see
+// core.EvacuationPolicy.
+type EvacuationPolicy = core.EvacuationPolicy
+
 // DefaultOptions mirror the paper's Section 4.1 setup at repository scale.
 func DefaultOptions() Options {
 	return Options{
@@ -205,6 +214,7 @@ func Open(dev *Device, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	dev.space.SetStuckTimeout(opts.Retry.StuckDeadline())
 	idx := &Index{tree: tree, opts: opts}
 	if opts.WAL {
 		wf, err := dev.space.Create(fmt.Sprintf("pio-wal-%d", dev.nextID), 16<<20)
@@ -311,6 +321,13 @@ type ForestOptions struct {
 	// DisableLogTruncation keeps the full WAL history; by default a
 	// forest checkpoint truncates each log's dead head.
 	DisableLogTruncation bool
+	// Heal paces the auto-heal prober for quarantined shards (zero value
+	// = enabled with defaults; set Disabled for manual Heal only).
+	Heal HealPolicy
+	// Evacuation bounds how long a shard may stay quarantined before
+	// AutoRebalance migrates its range to healthy shards (zero value =
+	// enabled with the default deadline).
+	Evacuation EvacuationPolicy
 }
 
 // RebalancePolicy drives Forest.AutoRebalance off the per-shard load
@@ -417,10 +434,13 @@ func OpenForest(dev *Device, opts ForestOptions) (*Forest, error) {
 		DisableLogGang:       opts.DisableLogGang,
 		MigrationChunk:       opts.MigrationChunk,
 		DisableLogTruncation: opts.DisableLogTruncation,
+		Heal:                 opts.Heal,
+		Evacuation:           opts.Evacuation,
 	})
 	if err != nil {
 		return nil, err
 	}
+	dev.space.SetStuckTimeout(opts.Retry.StuckDeadline())
 	return &Forest{f: fr, opts: opts}, nil
 }
 
